@@ -1,0 +1,144 @@
+//! (Weighted) K-nearest-neighbour fingerprint matching — the classic
+//! alternative matcher the paper mentions alongside SVM in Sec. V.
+
+use iupdater_core::FingerprintMatrix;
+use iupdater_rfsim::{Deployment, Point};
+
+/// A KNN fingerprint localizer.
+#[derive(Debug, Clone)]
+pub struct KnnLocalizer {
+    fingerprint: FingerprintMatrix,
+    k: usize,
+    weighted: bool,
+}
+
+impl KnnLocalizer {
+    /// Builds a KNN localizer over a fingerprint database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(fingerprint: FingerprintMatrix, k: usize, weighted: bool) -> Self {
+        assert!(k > 0, "k must be >= 1");
+        KnnLocalizer {
+            fingerprint,
+            k,
+            weighted,
+        }
+    }
+
+    /// Returns the indices and distances of the `k` nearest fingerprint
+    /// columns to `y` (Euclidean in RSS space), nearest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the link count.
+    pub fn neighbors(&self, y: &[f64]) -> Vec<(usize, f64)> {
+        let x = self.fingerprint.matrix();
+        assert_eq!(y.len(), x.rows(), "measurement length mismatch");
+        let mut dists: Vec<(usize, f64)> = (0..x.cols())
+            .map(|j| {
+                let d: f64 = (0..x.rows())
+                    .map(|i| (x[(i, j)] - y[i]).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                (j, d)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+        dists.truncate(self.k);
+        dists
+    }
+
+    /// Hard-decision estimate: the single nearest grid cell.
+    pub fn localize_grid(&self, y: &[f64]) -> usize {
+        self.neighbors(y)[0].0
+    }
+
+    /// Continuous estimate: the (inverse-distance-weighted when enabled)
+    /// centroid of the k nearest cells' coordinates.
+    pub fn localize_point(&self, y: &[f64], deployment: &Deployment) -> Point {
+        let nn = self.neighbors(y);
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut wsum = 0.0;
+        for (j, d) in nn {
+            let w = if self.weighted { 1.0 / (d + 1e-6) } else { 1.0 };
+            let p = deployment.location(j);
+            wx += w * p.x;
+            wy += w * p.y;
+            wsum += w;
+        }
+        Point::new(wx / wsum, wy / wsum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iupdater_core::FingerprintMatrix;
+    use iupdater_linalg::Matrix;
+    use iupdater_rfsim::{Environment, Testbed};
+
+    #[test]
+    fn exact_column_is_its_own_nearest_neighbor() {
+        let m = Matrix::from_fn(3, 6, |i, j| -(50.0 + (i * 7 + j * 3) as f64 % 13.0));
+        let fp = FingerprintMatrix::new(m.clone(), 2).unwrap();
+        let knn = KnnLocalizer::new(fp, 1, false);
+        for j in 0..6 {
+            assert_eq!(knn.localize_grid(&m.col(j)), j);
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_by_distance() {
+        let t = Testbed::new(Environment::office(), 41);
+        let fp = FingerprintMatrix::survey(&t, 0.0, 10);
+        let knn = KnnLocalizer::new(fp, 5, true);
+        let y = t.online_measurement(20, 0.0, 3);
+        let nn = knn.neighbors(&y);
+        assert_eq!(nn.len(), 5);
+        for w in nn.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn weighted_centroid_near_nearest_cell() {
+        let t = Testbed::new(Environment::office(), 42);
+        let d = t.deployment();
+        let fp = FingerprintMatrix::survey(&t, 0.0, 10);
+        let knn = KnnLocalizer::new(fp, 3, true);
+        let truth = t.expected_fingerprint_matrix(0.0);
+        let y = truth.col(30);
+        let p = knn.localize_point(&y, d);
+        let err = p.distance(d.location(30));
+        // k = 3 centroid averaging can pull up to a couple of grid steps
+        // away when a mirror cell sneaks into the top 3.
+        assert!(err < 2.5, "weighted-KNN clean error {err} m");
+    }
+
+    #[test]
+    fn knn_accuracy_reasonable_on_noisy_data() {
+        let t = Testbed::new(Environment::office(), 43);
+        let d = t.deployment();
+        let fp = FingerprintMatrix::survey(&t, 0.0, 20);
+        let knn = KnnLocalizer::new(fp, 3, true);
+        let mut err = 0.0;
+        let mut cnt = 0;
+        for j in (0..96).step_by(6) {
+            let y = t.online_measurement(j, 0.0, 700 + j as u64);
+            err += knn.localize_point(&y, d).distance(d.location(j));
+            cnt += 1;
+        }
+        let mean = err / cnt as f64;
+        assert!(mean < 2.5, "KNN mean error {mean} m");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_rejected() {
+        let fp = FingerprintMatrix::new(Matrix::zeros(2, 4), 2).unwrap();
+        let _ = KnnLocalizer::new(fp, 0, false);
+    }
+}

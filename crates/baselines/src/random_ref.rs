@@ -1,0 +1,104 @@
+//! Random reference-location selection — the control arm of the paper's
+//! Fig. 14 ("11 random locations"), demonstrating that the MIC locations
+//! are the *right* few locations, not just few.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Draws `count` distinct random grid locations out of `n`.
+///
+/// # Panics
+///
+/// Panics if `count > n`.
+pub fn random_locations(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    assert!(count <= n, "cannot select {count} of {n} locations");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(&mut rng);
+    let mut picked: Vec<usize> = all.into_iter().take(count).collect();
+    picked.sort_unstable();
+    picked
+}
+
+/// Drops `drop` randomly chosen entries from a reference set (the
+/// "7 of the 8 reference locations" arm of Fig. 14).
+///
+/// # Panics
+///
+/// Panics if `drop >= refs.len()`.
+pub fn drop_references(refs: &[usize], drop: usize, seed: u64) -> Vec<usize> {
+    assert!(drop < refs.len(), "cannot drop {drop} of {}", refs.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kept = refs.to_vec();
+    for _ in 0..drop {
+        let idx = rng.gen_range(0..kept.len());
+        kept.remove(idx);
+    }
+    kept
+}
+
+/// Adds `extra` random locations not already in the reference set (the
+/// "8 reference + 1 random" arm of Fig. 14).
+///
+/// # Panics
+///
+/// Panics if there are not enough non-reference locations left.
+pub fn add_random(refs: &[usize], n: usize, extra: usize, seed: u64) -> Vec<usize> {
+    let pool: Vec<usize> = (0..n).filter(|j| !refs.contains(j)).collect();
+    assert!(extra <= pool.len(), "not enough non-reference locations");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = pool;
+    pool.shuffle(&mut rng);
+    let mut out = refs.to_vec();
+    out.extend(pool.into_iter().take(extra));
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_locations_distinct_and_in_range() {
+        let locs = random_locations(96, 11, 1);
+        assert_eq!(locs.len(), 11);
+        let mut dedup = locs.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 11);
+        assert!(locs.iter().all(|&j| j < 96));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_locations(96, 8, 7), random_locations(96, 8, 7));
+        assert_ne!(random_locations(96, 8, 7), random_locations(96, 8, 8));
+    }
+
+    #[test]
+    fn drop_keeps_subset() {
+        let refs = vec![3, 14, 27, 40, 55, 61, 72, 88];
+        let kept = drop_references(&refs, 1, 5);
+        assert_eq!(kept.len(), 7);
+        assert!(kept.iter().all(|j| refs.contains(j)));
+    }
+
+    #[test]
+    fn add_random_extends_without_duplicates() {
+        let refs = vec![3, 14, 27];
+        let ext = add_random(&refs, 20, 2, 9);
+        assert_eq!(ext.len(), 5);
+        let mut sorted = ext.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        for r in &refs {
+            assert!(ext.contains(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn oversized_selection_panics() {
+        let _ = random_locations(5, 6, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! One Criterion bench per paper figure/table: each target regenerates
+//! the corresponding experiment end-to-end, so `cargo bench` both times
+//! the harness and re-produces every number in EXPERIMENTS.md.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iupdater_eval as eval;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    // Figure regenerations are seconds-scale end-to-end experiments:
+    // keep the statistical budget small.
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("fig01_short_term", |b| b.iter(eval::fig01_short_term::run));
+    group.bench_function("fig02_long_term", |b| b.iter(eval::fig02_long_term::run));
+    group.bench_function("fig05_singular_values", |b| {
+        b.iter(eval::fig05_singular_values::run)
+    });
+    group.bench_function("fig06_difference_stability", |b| {
+        b.iter(eval::fig06_difference_stability::run)
+    });
+    group.bench_function("fig08_nlc_cdf", |b| b.iter(eval::fig08_nlc_cdf::run));
+    group.bench_function("fig09_als_cdf", |b| b.iter(eval::fig09_als_cdf::run));
+    group.bench_function("fig14_reference_sets", |b| {
+        b.iter(eval::fig14_reference_sets::run)
+    });
+    group.bench_function("fig15_reference_sets_time", |b| {
+        b.iter(eval::fig15_reference_sets_time::run)
+    });
+    group.bench_function("fig16_constraints", |b| b.iter(eval::fig16_constraints::run));
+    group.bench_function("fig17_variation_robustness", |b| {
+        b.iter(eval::fig17_variation_robustness::run)
+    });
+    group.bench_function("fig18_recon_cdf", |b| b.iter(eval::fig18_recon_cdf::run));
+    group.bench_function("fig19_environments", |b| {
+        b.iter(eval::fig19_environments::run)
+    });
+    group.bench_function("fig20_labor_scaling", |b| {
+        b.iter(eval::fig20_labor_scaling::run)
+    });
+    group.bench_function("fig21_localization_cdf", |b| {
+        b.iter(eval::fig21_localization_cdf::run)
+    });
+    group.bench_function("fig22_localization_envs", |b| {
+        b.iter(eval::fig22_localization_envs::run)
+    });
+    group.bench_function("fig23_rass_cdf", |b| b.iter(eval::fig23_rass_cdf::run));
+    group.bench_function("fig24_rass_time", |b| b.iter(eval::fig24_rass_time::run));
+    group.bench_function("table_labor_cost", |b| b.iter(eval::table_labor::run));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

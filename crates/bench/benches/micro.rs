@@ -1,0 +1,157 @@
+//! Microbenchmarks of the numerical primitives: SVD, rank-revealing QR,
+//! LRR/ALM, the self-augmented solver, OMP matching and RASS training,
+//! all at the paper's problem sizes (8 x 96 office matrix).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iupdater_baselines::rass::{default_rass_params, Rass};
+use iupdater_core::prelude::*;
+use iupdater_core::{correlation, mic};
+use iupdater_linalg::lrr::{solve_lrr, LrrOptions};
+use iupdater_linalg::Matrix;
+use iupdater_rfsim::{Environment, Testbed};
+
+fn office_matrix() -> Matrix {
+    let t = Testbed::new(Environment::office(), 1);
+    t.fingerprint_matrix(0.0, 5)
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let x = office_matrix();
+    let mut group = c.benchmark_group("linalg");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("svd_8x96", |b| b.iter(|| black_box(&x).svd().unwrap()));
+    group.bench_function("pivoted_qr_8x96", |b| {
+        b.iter(|| black_box(&x).pivoted_qr().unwrap())
+    });
+    group.bench_function("column_echelon_8x96", |b| {
+        b.iter(|| black_box(&x).column_echelon(1e-9).unwrap())
+    });
+    group.bench_function("matmul_96x8_8x96", |b| {
+        let xt = x.transpose();
+        b.iter(|| black_box(&xt).matmul(black_box(&x)).unwrap())
+    });
+    let mic_sel = mic::extract_mic(&x, Default::default(), 0.02).unwrap();
+    group.bench_function("lrr_alm_8x96", |b| {
+        b.iter(|| solve_lrr(black_box(&mic_sel.vectors), black_box(&x), &LrrOptions::default()))
+    });
+    group.finish();
+}
+
+fn bench_core(c: &mut Criterion) {
+    let t = Testbed::new(Environment::office(), 1);
+    let day0 = FingerprintMatrix::survey(&t, 0.0, 20);
+    let updater = Updater::new(day0.clone(), UpdaterConfig::default()).unwrap();
+    let mut group = c.benchmark_group("core");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    group.bench_function("updater_construction", |b| {
+        b.iter(|| Updater::new(day0.clone(), UpdaterConfig::default()).unwrap())
+    });
+    group.bench_function("full_update_45d", |b| {
+        b.iter(|| updater.update_from_testbed(&t, 45.0, 5).unwrap())
+    });
+    let fresh = updater.update_from_testbed(&t, 45.0, 5).unwrap();
+    let localizer = Localizer::new(fresh.clone(), LocalizerConfig::default());
+    let y = t.online_measurement(17, 45.0, 7);
+    group.bench_function("omp_localize", |b| {
+        b.iter(|| localizer.localize(black_box(&y)).unwrap())
+    });
+    group.bench_function("correlation_z_lrr", |b| {
+        let mic_sel = mic::extract_mic(day0.matrix(), Default::default(), 0.02).unwrap();
+        b.iter(|| {
+            correlation::correlation_matrix(
+                &mic_sel.vectors,
+                day0.matrix(),
+                correlation::CorrelationMethod::Lrr,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let t = Testbed::new(Environment::office(), 1);
+    let day0 = FingerprintMatrix::survey(&t, 0.0, 20);
+    let mut group = c.benchmark_group("baselines");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("rass_train", |b| {
+        b.iter(|| Rass::train(&day0, t.deployment(), default_rass_params()))
+    });
+    let rass = Rass::train(&day0, t.deployment(), default_rass_params());
+    let y = t.online_measurement(17, 0.0, 7);
+    group.bench_function("rass_predict", |b| b.iter(|| rass.predict(black_box(&y))));
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let t = Testbed::new(Environment::office(), 1);
+    let mut group = c.benchmark_group("rfsim");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    group.bench_function("survey_5_samples", |b| {
+        b.iter(|| t.fingerprint_matrix(0.0, 5))
+    });
+    group.bench_function("online_measurement", |b| {
+        b.iter(|| t.online_measurement(17, 45.0, 7))
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use iupdater_core::persist;
+    use iupdater_core::tracking::{Tracker, TrackerConfig};
+    use iupdater_linalg::truncated::TruncatedSvdOptions;
+    use iupdater_rfsim::trajectory::Trajectory;
+
+    let t = Testbed::new(Environment::office(), 1);
+    let day0 = FingerprintMatrix::survey(&t, 0.0, 20);
+    let mut group = c.benchmark_group("extensions");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+
+    // Truncated SVD at a large-deployment size (32 x 1536).
+    let big_env = iupdater_eval::ext_scale::scaled_office(4);
+    let big = Testbed::new(big_env, 2).fingerprint_matrix(0.0, 1);
+    group.bench_function("truncated_svd_32x1536_k8", |b| {
+        b.iter(|| big.truncated_svd(8, &TruncatedSvdOptions::default()).unwrap())
+    });
+    group.bench_function("full_svd_32x1536", |b| b.iter(|| big.svd().unwrap()));
+
+    // Viterbi tracking over a 60-epoch walk.
+    let d = t.deployment();
+    let walk = Trajectory::random_walk(d, 40, 60, 5);
+    let measurements = walk.measurements(&t, 0.0, 9);
+    let tracker = Tracker::new(&day0, d, TrackerConfig::default()).unwrap();
+    group.bench_function("viterbi_track_60_epochs", |b| {
+        b.iter(|| tracker.track(black_box(&measurements)).unwrap())
+    });
+
+    // Persistence round trip.
+    group.bench_function("persist_roundtrip", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            persist::write_fingerprint(&day0, &mut buf).unwrap();
+            persist::read_fingerprint(buf.as_slice()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linalg,
+    bench_core,
+    bench_baselines,
+    bench_simulator,
+    bench_extensions
+);
+criterion_main!(benches);

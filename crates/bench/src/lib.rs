@@ -1,0 +1,10 @@
+//! Benchmark support crate: the actual Criterion benches live in
+//! `benches/`. This library only re-exports the pieces they drive.
+
+#![forbid(unsafe_code)]
+
+pub use iupdater_baselines as baselines;
+pub use iupdater_core as core;
+pub use iupdater_eval as eval;
+pub use iupdater_linalg as linalg;
+pub use iupdater_rfsim as rfsim;

@@ -1,0 +1,140 @@
+//! The largely-decrease matrix `X_D` (Def. 2 / Fig. 7).
+//!
+//! `X_D` has shape `M x (N/M)`: entry `(i, u)` is the fingerprint cell
+//! for a target standing at the `u`-th grid location *along link `i`'s
+//! own direct path* — exactly the cells where the RSS drops the most.
+//! Constraint 2 (continuity + similarity) lives on this matrix.
+
+use iupdater_linalg::Matrix;
+
+use crate::{CoreError, Result};
+
+/// Extracts `X_D` from a full fingerprint matrix: `d_{i,u} = x_{i,j}`
+/// with `j = i * (N/M) + u` (Def. 2, 0-based).
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] if `x.cols()` is not
+/// `x.rows() * per`.
+pub fn extract(x: &Matrix, per: usize) -> Result<Matrix> {
+    if per == 0 || x.cols() != x.rows() * per {
+        return Err(CoreError::DimensionMismatch {
+            context: "decrease::extract",
+            expected: format!("cols = rows * per = {} * {per}", x.rows()),
+            got: format!("cols = {}", x.cols()),
+        });
+    }
+    Ok(Matrix::from_fn(x.rows(), per, |i, u| x[(i, i * per + u)]))
+}
+
+/// Writes a largely-decrease matrix back into the corresponding cells of
+/// a full fingerprint matrix (the inverse of [`extract`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] on inconsistent shapes.
+pub fn write_back(x: &mut Matrix, xd: &Matrix) -> Result<()> {
+    let per = xd.cols();
+    if xd.rows() != x.rows() || x.cols() != x.rows() * per {
+        return Err(CoreError::DimensionMismatch {
+            context: "decrease::write_back",
+            expected: format!("xd {}x{} vs x {}x{}", x.rows(), x.cols() / x.rows().max(1), x.rows(), x.cols()),
+            got: format!("xd {}x{}", xd.rows(), xd.cols()),
+        });
+    }
+    for i in 0..x.rows() {
+        for u in 0..per {
+            x[(i, i * per + u)] = xd[(i, u)];
+        }
+    }
+    Ok(())
+}
+
+/// The fingerprint column index `j` that `X_D` entry `(i, u)` maps to.
+pub fn column_of(i: usize, u: usize, per: usize) -> usize {
+    i * per + u
+}
+
+/// The `X_D` coordinates `(i, u)` of a fingerprint column `j` (every
+/// column belongs to exactly one link row).
+pub fn coords_of(j: usize, per: usize) -> (usize, usize) {
+    (j / per, j % per)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fingerprint_4x12() -> Matrix {
+        // The paper's Fig. 7 example: 4 links x 12 grids, N/M = 3.
+        Matrix::from_fn(4, 12, |i, j| -(50.0 + (i * 12 + j) as f64))
+    }
+
+    #[test]
+    fn extract_matches_def2() {
+        let x = fingerprint_4x12();
+        let xd = extract(&x, 3).unwrap();
+        assert_eq!(xd.shape(), (4, 3));
+        // d_{i,u} = x_{i, i*3+u}.
+        for i in 0..4 {
+            for u in 0..3 {
+                assert_eq!(xd[(i, u)], x[(i, i * 3 + u)]);
+            }
+        }
+    }
+
+    #[test]
+    fn extract_shape_checked() {
+        let x = Matrix::zeros(4, 12);
+        assert!(extract(&x, 5).is_err());
+        assert!(extract(&x, 0).is_err());
+        assert!(extract(&x, 3).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_extract_write_back() {
+        let x = fingerprint_4x12();
+        let xd = extract(&x, 3).unwrap();
+        let mut x2 = x.clone();
+        // Perturb the large-decrease cells, write back the originals.
+        for i in 0..4 {
+            for u in 0..3 {
+                x2[(i, i * 3 + u)] = 0.0;
+            }
+        }
+        write_back(&mut x2, &xd).unwrap();
+        assert_eq!(x2, x);
+    }
+
+    #[test]
+    fn write_back_only_touches_own_row_cells() {
+        let x = fingerprint_4x12();
+        let mut x2 = x.clone();
+        let zeros = Matrix::zeros(4, 3);
+        write_back(&mut x2, &zeros).unwrap();
+        for i in 0..4 {
+            for j in 0..12 {
+                let (row, _) = coords_of(j, 3);
+                if row == i {
+                    assert_eq!(x2[(i, j)], 0.0);
+                } else {
+                    assert_eq!(x2[(i, j)], x[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        for j in 0..12 {
+            let (i, u) = coords_of(j, 3);
+            assert_eq!(column_of(i, u, 3), j);
+        }
+    }
+
+    #[test]
+    fn write_back_shape_checked() {
+        let mut x = Matrix::zeros(4, 12);
+        assert!(write_back(&mut x, &Matrix::zeros(3, 3)).is_err());
+    }
+}

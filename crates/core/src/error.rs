@@ -1,0 +1,94 @@
+use std::fmt;
+
+use iupdater_linalg::LinalgError;
+
+/// Error type for the iUpdater core algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A matrix or vector argument had an unexpected shape.
+    DimensionMismatch {
+        /// What was being attempted.
+        context: &'static str,
+        /// Expected dimension(s), described.
+        expected: String,
+        /// What was received.
+        got: String,
+    },
+    /// An argument was invalid.
+    InvalidArgument(&'static str),
+    /// The underlying linear algebra failed.
+    Linalg(LinalgError),
+    /// The iterative reconstruction did not reach its stopping criterion.
+    NonConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last objective value observed.
+        objective: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch {
+                context,
+                expected,
+                got,
+            } => write!(f, "dimension mismatch in {context}: expected {expected}, got {got}"),
+            CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::NonConvergence {
+                iterations,
+                objective,
+            } => write!(
+                f,
+                "reconstruction did not converge within {iterations} iterations (objective {objective:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::DimensionMismatch {
+            context: "update",
+            expected: "8 rows".into(),
+            got: "6 rows".into(),
+        };
+        assert!(e.to_string().contains("dimension mismatch in update"));
+        assert!(CoreError::InvalidArgument("x").to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn linalg_error_wraps_with_source() {
+        use std::error::Error;
+        let e = CoreError::from(LinalgError::Singular);
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,91 @@
+//! # iupdater-core
+//!
+//! The core of the iUpdater reproduction (Chang et al., ICDCS 2017):
+//! low-cost RSS fingerprint-database updating for device-free
+//! localization.
+//!
+//! The system keeps a *fingerprint matrix* `X` (links x locations,
+//! [`fingerprint`]) that maps "target stands at grid `j`" to the RSS
+//! vector the `M` links observe. RSS drifts over days, so the matrix
+//! goes stale. iUpdater re-surveys only a handful of *reference
+//! locations* (the maximum-independent-column locations, [`mic`]) and
+//! reconstructs the entire matrix by a *self-augmented regularized SVD*
+//! ([`self_augmented`]) that combines:
+//!
+//! 1. the basic RSVD data-fit on the no-decrease cells that can be
+//!    measured without a target ([`rsvd`], [`classify`]);
+//! 2. **Constraint 1**: the historical correlation `Z` between the MIC
+//!    columns and the whole matrix ([`correlation`]);
+//! 3. **Constraint 2**: neighbouring-location continuity ([`neighbors`])
+//!    and adjacent-link similarity ([`similarity`]) of the
+//!    largely-decrease submatrix ([`decrease`]).
+//!
+//! Localization matches an online RSS vector against the reconstructed
+//! matrix with orthogonal matching pursuit ([`omp`], [`localize`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iupdater_core::prelude::*;
+//! use iupdater_rfsim::{Environment, Testbed};
+//!
+//! // Simulated deployment standing in for the paper's office testbed.
+//! let testbed = Testbed::new(Environment::office(), 42);
+//! let day0 = FingerprintMatrix::survey(&testbed, 0.0, 5);
+//!
+//! // Build the updater from the day-0 database.
+//! let updater = Updater::new(day0, UpdaterConfig::default()).unwrap();
+//!
+//! // 45 days later: fresh readings at the few reference locations only.
+//! let refs = updater.reference_locations().to_vec();
+//! let x_r = testbed.measure_columns(&refs, 45.0, 5);
+//! let x_b = FingerprintMatrix::survey_no_decrease(&testbed, 45.0, 5);
+//! let reconstructed = updater.update(&x_r, &x_b).unwrap();
+//!
+//! // Localize an online measurement against the fresh matrix.
+//! let localizer = Localizer::new(reconstructed, LocalizerConfig::default());
+//! let y = testbed.online_measurement(17, 45.0, 7);
+//! let est = localizer.localize(&y).unwrap();
+//! assert!(est.grid < testbed.deployment().num_locations());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod config;
+pub mod correlation;
+pub mod decrease;
+mod error;
+pub mod fingerprint;
+pub mod localize;
+pub mod metrics;
+pub mod mic;
+pub mod monitor;
+pub mod multi_target;
+pub mod neighbors;
+pub mod persist;
+pub mod omp;
+pub mod reconstruct;
+pub mod rsvd;
+pub mod self_augmented;
+pub mod similarity;
+pub mod tracking;
+
+pub use config::{CouplingMode, LocalizerConfig, ScalingMode, UpdaterConfig};
+pub use error::CoreError;
+pub use fingerprint::FingerprintMatrix;
+pub use localize::{LocationEstimate, Localizer};
+pub use reconstruct::Updater;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::config::{CouplingMode, LocalizerConfig, ScalingMode, UpdaterConfig};
+    pub use crate::fingerprint::FingerprintMatrix;
+    pub use crate::localize::{LocationEstimate, Localizer};
+    pub use crate::reconstruct::Updater;
+    pub use crate::CoreError;
+}

@@ -1,0 +1,176 @@
+//! Maximum independent column (MIC) extraction and reference-location
+//! selection (Sec. I / IV-B).
+//!
+//! The whole fingerprint matrix can be represented exactly by a maximal
+//! set of linearly independent columns; the paper selects the grid
+//! locations where those columns live as the *reference locations* to
+//! re-survey, so the labor cost is `rank(X) ≈ M` locations instead of
+//! `N`.
+//!
+//! Two extraction methods are provided:
+//! - [`MicMethod::PivotedQr`] (default): rank-revealing column-pivoted
+//!   QR — numerically robust for approximately-low-rank noisy matrices;
+//! - [`MicMethod::Echelon`]: the paper's literal elementary-column-
+//!   transformation procedure.
+
+use iupdater_linalg::Matrix;
+
+use crate::{CoreError, Result};
+
+/// Which algorithm finds the independent columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MicMethod {
+    /// Rank-revealing column-pivoted QR (robust on noisy data).
+    #[default]
+    PivotedQr,
+    /// Literal elementary column transformation (paper's description).
+    Echelon,
+}
+
+/// The MIC extraction result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicSelection {
+    /// Grid-location indices of the MIC columns, sorted ascending.
+    pub locations: Vec<usize>,
+    /// The MIC vectors themselves: `X_MIC` (`M x rank`), columns in the
+    /// order of `locations`.
+    pub vectors: Matrix,
+}
+
+/// Extracts the MIC vectors of `x`.
+///
+/// `rank_tol` is relative: with [`MicMethod::PivotedQr`] a pivot counts
+/// while `|R(k,k)| > rank_tol * |R(0,0)|`; with [`MicMethod::Echelon`]
+/// it thresholds against the largest matrix entry.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidArgument`] for an empty matrix or bad tolerance.
+/// - [`CoreError::InvalidArgument`] if the matrix is numerically zero.
+pub fn extract_mic(x: &Matrix, method: MicMethod, rank_tol: f64) -> Result<MicSelection> {
+    if x.is_empty() {
+        return Err(CoreError::InvalidArgument("MIC of empty matrix"));
+    }
+    if rank_tol <= 0.0 || rank_tol >= 1.0 {
+        return Err(CoreError::InvalidArgument("rank_tol must be in (0, 1)"));
+    }
+    let mut locations = match method {
+        MicMethod::PivotedQr => {
+            let pqr = x.pivoted_qr()?;
+            let k = pqr.r.rows();
+            let r00 = pqr.r[(0, 0)].abs();
+            if r00 == 0.0 {
+                return Err(CoreError::InvalidArgument("MIC of zero matrix"));
+            }
+            let rank = (0..k)
+                .take_while(|&i| pqr.r[(i, i)].abs() > rank_tol * r00)
+                .count();
+            pqr.leading_columns(rank)
+        }
+        MicMethod::Echelon => x.column_echelon(rank_tol)?.independent_cols,
+    };
+    if locations.is_empty() {
+        return Err(CoreError::InvalidArgument("MIC of zero matrix"));
+    }
+    locations.sort_unstable();
+    let vectors = x.select_cols(&locations);
+    Ok(MicSelection { locations, vectors })
+}
+
+impl MicSelection {
+    /// Number of reference locations (= numerical rank).
+    pub fn rank(&self) -> usize {
+        self.locations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn low_rank(m: usize, n: usize, r: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = Matrix::from_fn(m, r, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
+        let rt = Matrix::from_fn(r, n, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
+        l.matmul(&rt).unwrap()
+    }
+
+    #[test]
+    fn mic_count_equals_rank_exact() {
+        for r in 1..=4 {
+            let x = low_rank(6, 20, r, r as u64);
+            let mic = extract_mic(&x, MicMethod::PivotedQr, 1e-9).unwrap();
+            assert_eq!(mic.rank(), r);
+            let mic2 = extract_mic(&x, MicMethod::Echelon, 1e-9).unwrap();
+            assert_eq!(mic2.rank(), r);
+        }
+    }
+
+    #[test]
+    fn mic_spans_column_space() {
+        let x = low_rank(6, 20, 3, 42);
+        let mic = extract_mic(&x, MicMethod::PivotedQr, 1e-9).unwrap();
+        // Least-squares reconstruction of X from the MIC columns must be
+        // exact for an exactly-low-rank matrix.
+        let gram = mic.vectors.gram();
+        let rhs = mic.vectors.transpose().matmul(&x).unwrap();
+        let z = gram.solve_matrix(&rhs).unwrap();
+        let recon = mic.vectors.matmul(&z).unwrap();
+        assert!(recon.approx_eq(&x, 1e-7));
+    }
+
+    #[test]
+    fn full_row_rank_matrix_selects_m_references() {
+        // The paper's case: M=8 links, rank = M, so 8 reference locations.
+        let x = low_rank(8, 96, 8, 7);
+        let mic = extract_mic(&x, MicMethod::PivotedQr, 1e-9).unwrap();
+        assert_eq!(mic.rank(), 8);
+        assert!(mic.locations.iter().all(|&j| j < 96));
+    }
+
+    #[test]
+    fn noisy_low_rank_uses_tolerance() {
+        // rank-2 structure + tiny noise: strict tolerance sees full rank,
+        // loose tolerance recovers 2.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut x = low_rank(6, 20, 2, 5);
+        for v in x.iter_mut() {
+            *v += (rng.gen::<f64>() - 0.5) * 1e-6;
+        }
+        let strict = extract_mic(&x, MicMethod::PivotedQr, 1e-9).unwrap();
+        assert!(strict.rank() > 2);
+        let loose = extract_mic(&x, MicMethod::PivotedQr, 1e-3).unwrap();
+        assert_eq!(loose.rank(), 2);
+    }
+
+    #[test]
+    fn locations_sorted_and_vectors_match() {
+        let x = low_rank(5, 15, 3, 11);
+        let mic = extract_mic(&x, MicMethod::PivotedQr, 1e-9).unwrap();
+        let mut sorted = mic.locations.clone();
+        sorted.sort_unstable();
+        assert_eq!(mic.locations, sorted);
+        for (k, &j) in mic.locations.iter().enumerate() {
+            for i in 0..5 {
+                assert_eq!(mic.vectors[(i, k)], x[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(extract_mic(&Matrix::zeros(0, 0), MicMethod::PivotedQr, 0.1).is_err());
+        assert!(extract_mic(&Matrix::zeros(3, 5), MicMethod::PivotedQr, 0.1).is_err());
+        assert!(extract_mic(&Matrix::identity(3), MicMethod::PivotedQr, 0.0).is_err());
+        assert!(extract_mic(&Matrix::identity(3), MicMethod::PivotedQr, 1.0).is_err());
+    }
+
+    #[test]
+    fn methods_agree_on_exact_rank() {
+        let x = low_rank(7, 25, 4, 13);
+        let a = extract_mic(&x, MicMethod::PivotedQr, 1e-8).unwrap();
+        let b = extract_mic(&x, MicMethod::Echelon, 1e-8).unwrap();
+        assert_eq!(a.rank(), b.rank());
+    }
+}

@@ -1,0 +1,245 @@
+//! Database staleness monitoring: decide *when* to run an update.
+//!
+//! The paper fixes update timestamps (3/5/15/45/90 days); a deployed
+//! system wants to trigger updates from evidence instead. The residual
+//! `‖X̂ Ŵ − y‖²` the localizer already computes is exactly such
+//! evidence: when the database is fresh the online vectors sit close to
+//! their matched columns; as drift accumulates, residuals inflate. The
+//! [`StalenessMonitor`] tracks a robust (median) residual over a sliding
+//! window, calibrates a baseline right after an update, and recommends
+//! re-surveying once the window median exceeds `threshold x baseline`.
+
+use std::collections::VecDeque;
+
+use crate::{CoreError, Result};
+
+/// Monitor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Sliding-window size (number of localization events).
+    pub window: usize,
+    /// How many initial events after (re)calibration form the baseline.
+    pub baseline_events: usize,
+    /// Update is recommended when the window median exceeds
+    /// `threshold * baseline` (e.g. 2.0 = residual energy doubled).
+    pub threshold: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: 40,
+            baseline_events: 40,
+            threshold: 2.0,
+        }
+    }
+}
+
+/// What the monitor currently believes about the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Staleness {
+    /// Still collecting the post-update baseline.
+    Calibrating,
+    /// Residuals consistent with the baseline.
+    Fresh,
+    /// Residuals elevated but below the trigger.
+    Degrading,
+    /// Residuals past the trigger: run an update.
+    UpdateRecommended,
+}
+
+/// Sliding-window residual monitor.
+#[derive(Debug, Clone)]
+pub struct StalenessMonitor {
+    config: MonitorConfig,
+    baseline_buf: Vec<f64>,
+    baseline: Option<f64>,
+    window: VecDeque<f64>,
+}
+
+impl StalenessMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for a zero window or
+    /// baseline size, or a threshold at or below 1.
+    pub fn new(config: MonitorConfig) -> Result<Self> {
+        if config.window == 0 || config.baseline_events == 0 {
+            return Err(CoreError::InvalidArgument(
+                "monitor window and baseline sizes must be >= 1",
+            ));
+        }
+        if config.threshold <= 1.0 {
+            return Err(CoreError::InvalidArgument("monitor threshold must be > 1"));
+        }
+        Ok(StalenessMonitor {
+            config,
+            baseline_buf: Vec::new(),
+            baseline: None,
+            window: VecDeque::new(),
+        })
+    }
+
+    /// Records one localization residual (`‖X̂ Ŵ − y‖²` from
+    /// [`crate::localize::LocationEstimate::residual_sq`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residual_sq` is negative or non-finite.
+    pub fn record(&mut self, residual_sq: f64) {
+        assert!(
+            residual_sq.is_finite() && residual_sq >= 0.0,
+            "residual must be finite and non-negative"
+        );
+        if self.baseline.is_none() {
+            self.baseline_buf.push(residual_sq);
+            if self.baseline_buf.len() >= self.config.baseline_events {
+                self.baseline = Some(median_of(&self.baseline_buf).max(f64::MIN_POSITIVE));
+                self.baseline_buf.clear();
+            }
+            return;
+        }
+        if self.window.len() == self.config.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(residual_sq);
+    }
+
+    /// Current staleness assessment.
+    pub fn status(&self) -> Staleness {
+        let Some(baseline) = self.baseline else {
+            return Staleness::Calibrating;
+        };
+        if self.window.len() < self.config.window / 2 {
+            return Staleness::Fresh;
+        }
+        let vals: Vec<f64> = self.window.iter().copied().collect();
+        let ratio = median_of(&vals) / baseline;
+        if ratio >= self.config.threshold {
+            Staleness::UpdateRecommended
+        } else if ratio >= 0.5 * (1.0 + self.config.threshold) {
+            Staleness::Degrading
+        } else {
+            Staleness::Fresh
+        }
+    }
+
+    /// The calibrated baseline (None while calibrating).
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// Resets after an update: a new baseline is collected from the next
+    /// events.
+    pub fn recalibrate(&mut self) {
+        self.baseline = None;
+        self.baseline_buf.clear();
+        self.window.clear();
+    }
+}
+
+fn median_of(values: &[f64]) -> f64 {
+    iupdater_linalg::stats::median(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::FingerprintMatrix;
+    use crate::localize::Localizer;
+    use crate::prelude::*;
+    use iupdater_rfsim::{Environment, Testbed};
+
+    fn feed(monitor: &mut StalenessMonitor, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            monitor.record(v);
+        }
+    }
+
+    #[test]
+    fn lifecycle_fresh_degrading_update() {
+        let mut m = StalenessMonitor::new(MonitorConfig {
+            window: 10,
+            baseline_events: 10,
+            threshold: 2.0,
+        })
+        .unwrap();
+        assert_eq!(m.status(), Staleness::Calibrating);
+        feed(&mut m, std::iter::repeat(1.0).take(10));
+        assert_eq!(m.baseline(), Some(1.0));
+        feed(&mut m, std::iter::repeat(1.1).take(10));
+        assert_eq!(m.status(), Staleness::Fresh);
+        feed(&mut m, std::iter::repeat(1.6).take(10));
+        assert_eq!(m.status(), Staleness::Degrading);
+        feed(&mut m, std::iter::repeat(2.5).take(10));
+        assert_eq!(m.status(), Staleness::UpdateRecommended);
+        m.recalibrate();
+        assert_eq!(m.status(), Staleness::Calibrating);
+    }
+
+    #[test]
+    fn robust_to_isolated_spikes() {
+        let mut m = StalenessMonitor::new(MonitorConfig {
+            window: 11,
+            baseline_events: 11,
+            threshold: 2.0,
+        })
+        .unwrap();
+        feed(&mut m, std::iter::repeat(1.0).take(11));
+        // Mostly-fresh window with a couple of huge outliers: the median
+        // keeps the monitor calm.
+        feed(&mut m, [1.0, 50.0, 1.0, 1.0, 100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(m.status(), Staleness::Fresh);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(StalenessMonitor::new(MonitorConfig {
+            window: 0,
+            ..MonitorConfig::default()
+        })
+        .is_err());
+        assert!(StalenessMonitor::new(MonitorConfig {
+            threshold: 1.0,
+            ..MonitorConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_residuals() {
+        let mut m = StalenessMonitor::new(MonitorConfig::default()).unwrap();
+        m.record(f64::NAN);
+    }
+
+    #[test]
+    fn drift_on_simulated_testbed_triggers_update() {
+        // End-to-end: feed real localizer residuals at day 0 (baseline)
+        // and day 80 (stale); the monitor must flag the stale period.
+        let t = Testbed::new(Environment::office(), 20170605);
+        let fp = FingerprintMatrix::survey(&t, 0.0, 50);
+        let localizer = Localizer::new(fp, LocalizerConfig::default());
+        let mut m = StalenessMonitor::new(MonitorConfig {
+            window: 48,
+            baseline_events: 48,
+            threshold: 1.5,
+        })
+        .unwrap();
+        for j in 0..48 {
+            let y = t.online_measurement(j * 2 % 96, 0.0, 500 + j as u64);
+            m.record(localizer.localize(&y).unwrap().residual_sq);
+        }
+        assert!(m.baseline().is_some());
+        for j in 0..48 {
+            let y = t.online_measurement(j * 2 % 96, 80.0, 900 + j as u64);
+            m.record(localizer.localize(&y).unwrap().residual_sq);
+        }
+        assert_eq!(
+            m.status(),
+            Staleness::UpdateRecommended,
+            "80-day drift must trip the monitor"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Self-contained persistence for fingerprint databases: a versioned,
+//! human-readable text format with no external dependencies (useful for
+//! nightly database snapshots on an embedded gateway). `serde`
+//! `Serialize`/`Deserialize` impls are additionally available behind the
+//! `serde` feature for users who bring their own format.
+//!
+//! Format (line-oriented):
+//!
+//! ```text
+//! iupdater-fingerprint v1
+//! links <M>
+//! per_link <N/M>
+//! row <x_11> <x_12> ... <x_1N>
+//! ...                          (M `row` lines)
+//! ```
+
+use std::io::{BufRead, Write};
+
+use iupdater_linalg::Matrix;
+
+use crate::fingerprint::FingerprintMatrix;
+use crate::{CoreError, Result};
+
+/// Format magic / version header.
+const HEADER: &str = "iupdater-fingerprint v1";
+
+/// Writes a fingerprint database to a writer.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] wrapping I/O failures
+/// (message only — the underlying `io::Error` is not preserved).
+pub fn write_fingerprint<W: Write>(fp: &FingerprintMatrix, mut w: W) -> Result<()> {
+    let io_err = |_e: std::io::Error| CoreError::InvalidArgument("write failed");
+    writeln!(w, "{HEADER}").map_err(io_err)?;
+    writeln!(w, "links {}", fp.num_links()).map_err(io_err)?;
+    writeln!(w, "per_link {}", fp.locations_per_link()).map_err(io_err)?;
+    for i in 0..fp.num_links() {
+        write!(w, "row").map_err(io_err)?;
+        for j in 0..fp.num_locations() {
+            write!(w, " {:.6}", fp.rss(i, j)).map_err(io_err)?;
+        }
+        writeln!(w).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a fingerprint database from a reader.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for malformed input (wrong
+/// header, missing fields, bad numbers, inconsistent row lengths).
+pub fn read_fingerprint<R: BufRead>(r: R) -> Result<FingerprintMatrix> {
+    let mut lines = r.lines();
+    let bad = |msg: &'static str| CoreError::InvalidArgument(msg);
+    let header = lines
+        .next()
+        .ok_or(bad("empty input"))?
+        .map_err(|_| bad("read failed"))?;
+    if header.trim() != HEADER {
+        return Err(bad("unrecognised header"));
+    }
+    let links = parse_field(&mut lines, "links")?;
+    let per = parse_field(&mut lines, "per_link")?;
+    if links == 0 || per == 0 {
+        return Err(bad("links and per_link must be positive"));
+    }
+    let n = links * per;
+    let mut data = Vec::with_capacity(links * n);
+    for _ in 0..links {
+        let line = lines
+            .next()
+            .ok_or(bad("missing row line"))?
+            .map_err(|_| bad("read failed"))?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("row") {
+            return Err(bad("expected a `row` line"));
+        }
+        let values: std::result::Result<Vec<f64>, _> =
+            parts.map(str::parse::<f64>).collect();
+        let values = values.map_err(|_| bad("non-numeric RSS value"))?;
+        if values.len() != n {
+            return Err(bad("row length does not match links * per_link"));
+        }
+        data.extend(values);
+    }
+    let matrix = Matrix::from_vec(links, n, data)?;
+    FingerprintMatrix::new(matrix, per)
+}
+
+fn parse_field(
+    lines: &mut std::io::Lines<impl BufRead>,
+    name: &'static str,
+) -> Result<usize> {
+    let bad = |msg: &'static str| CoreError::InvalidArgument(msg);
+    let line = lines
+        .next()
+        .ok_or(bad("missing header field"))?
+        .map_err(|_| bad("read failed"))?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(name) {
+        return Err(bad("unexpected header field"));
+    }
+    parts
+        .next()
+        .ok_or(bad("missing field value"))?
+        .parse::<usize>()
+        .map_err(|_| bad("non-integer field value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iupdater_rfsim::{Environment, Testbed};
+
+    fn sample() -> FingerprintMatrix {
+        let t = Testbed::new(Environment::library(), 3);
+        FingerprintMatrix::survey(&t, 0.0, 3)
+    }
+
+    #[test]
+    fn roundtrip_preserves_database() {
+        let fp = sample();
+        let mut buf = Vec::new();
+        write_fingerprint(&fp, &mut buf).unwrap();
+        let back = read_fingerprint(buf.as_slice()).unwrap();
+        assert_eq!(back.num_links(), fp.num_links());
+        assert_eq!(back.locations_per_link(), fp.locations_per_link());
+        // 6-decimal round trip.
+        assert!(back.matrix().approx_eq(fp.matrix(), 1e-5));
+    }
+
+    #[test]
+    fn header_is_versioned() {
+        let fp = sample();
+        let mut buf = Vec::new();
+        write_fingerprint(&fp, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("iupdater-fingerprint v1\n"));
+        assert!(text.contains("links 6"));
+        assert!(text.contains("per_link 12"));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(read_fingerprint("".as_bytes()).is_err());
+        assert!(read_fingerprint("wrong header\n".as_bytes()).is_err());
+        assert!(read_fingerprint(
+            "iupdater-fingerprint v1\nlinks 2\nper_link x\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_fingerprint(
+            "iupdater-fingerprint v1\nlinks 2\nper_link 2\nrow 1 2 3 4\nrow 1 2 3\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_fingerprint(
+            "iupdater-fingerprint v1\nlinks 0\nper_link 2\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_fingerprint(
+            "iupdater-fingerprint v1\nlinks 1\nper_link 2\nnotrow 1 2\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn negative_dbm_values_roundtrip_exactly_at_6dp() {
+        let fp = FingerprintMatrix::new(
+            Matrix::from_rows(&[&[-60.123456, -70.654321], &[-55.0, -80.999999]]),
+            1,
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_fingerprint(&fp, &mut buf).unwrap();
+        let back = read_fingerprint(buf.as_slice()).unwrap();
+        assert!(back.matrix().approx_eq(fp.matrix(), 1e-6));
+    }
+}

@@ -1,0 +1,286 @@
+//! The high-level [`Updater`]: the paper's full pipeline (Fig. 10).
+//!
+//! Built once from the original (or latest updated) fingerprint matrix,
+//! the updater extracts the MIC reference locations and the inherent
+//! correlation matrix `Z` (Inherent Correlation Acquisition Module).
+//! Each update cycle then takes fresh reference-column measurements
+//! `X_R` and the freely collectable no-decrease matrix `X_B`
+//! (Reconstruction Data Collection Module) and reconstructs the whole
+//! matrix with the self-augmented RSVD (Fingerprint Matrix
+//! Reconstruction Module).
+
+use iupdater_linalg::Matrix;
+
+use crate::classify::CellClassification;
+use crate::config::UpdaterConfig;
+use crate::correlation::{correlation_matrix, predict, CorrelationMethod};
+use crate::fingerprint::FingerprintMatrix;
+use crate::mic::{extract_mic, MicMethod, MicSelection};
+use crate::self_augmented::{SolveReport, Solver, SolverInputs};
+use crate::{CoreError, Result};
+
+/// The iUpdater reconstruction pipeline.
+#[derive(Debug, Clone)]
+pub struct Updater {
+    prior: FingerprintMatrix,
+    config: UpdaterConfig,
+    mic: MicSelection,
+    z: Matrix,
+}
+
+impl Updater {
+    /// Builds the updater from the prior fingerprint database: extracts
+    /// the MIC vectors and learns the correlation matrix `Z` by LRR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation, MIC extraction and LRR errors.
+    pub fn new(prior: FingerprintMatrix, config: UpdaterConfig) -> Result<Self> {
+        Self::with_methods(prior, config, MicMethod::default(), CorrelationMethod::default())
+    }
+
+    /// [`Updater::new`] with explicit MIC and correlation methods.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation, MIC extraction and correlation
+    /// errors.
+    pub fn with_methods(
+        prior: FingerprintMatrix,
+        config: UpdaterConfig,
+        mic_method: MicMethod,
+        corr_method: CorrelationMethod,
+    ) -> Result<Self> {
+        config.validate().map_err(CoreError::InvalidArgument)?;
+        let x = prior.matrix();
+        let mut mic = extract_mic(x, mic_method, config.rank_tol)?;
+        // If a rank override is configured, honour it (take the leading
+        // MIC columns or extend greedily via a looser tolerance).
+        if let Some(r) = config.rank {
+            if r < mic.rank() {
+                mic.locations.truncate(r);
+                mic.vectors = x.select_cols(&mic.locations);
+            }
+        }
+        let z = correlation_matrix(&mic.vectors, x, corr_method)?;
+        Ok(Updater {
+            prior,
+            config,
+            mic,
+            z,
+        })
+    }
+
+    /// The grid locations a surveyor must re-visit (the MIC locations).
+    pub fn reference_locations(&self) -> &[usize] {
+        &self.mic.locations
+    }
+
+    /// The learned correlation matrix `Z` (`rank x N`).
+    pub fn correlation(&self) -> &Matrix {
+        &self.z
+    }
+
+    /// The prior fingerprint database.
+    pub fn prior(&self) -> &FingerprintMatrix {
+        &self.prior
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &UpdaterConfig {
+        &self.config
+    }
+
+    /// Reconstructs the up-to-date fingerprint matrix from fresh
+    /// reference columns `x_r` (`M x rank`, columns ordered like
+    /// [`Updater::reference_locations`]) and the no-decrease matrix
+    /// `x_b` (`M x N`, zeros at affected cells).
+    ///
+    /// The mask `B` is inferred from `x_b`: a cell is "known" iff its
+    /// entry is non-zero (RSS readings are strictly negative dBm, so 0
+    /// is an unambiguous sentinel). Use [`Updater::update_with_mask`] to
+    /// pass an explicit mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and solver errors.
+    pub fn update(&self, x_r: &Matrix, x_b: &Matrix) -> Result<FingerprintMatrix> {
+        let b = Matrix::from_fn(x_b.rows(), x_b.cols(), |i, j| {
+            if x_b[(i, j)] != 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        self.update_with_mask(x_r, x_b, &b)
+    }
+
+    /// [`Updater::update`] with an explicit known-cell mask
+    /// (e.g. from [`CellClassification::index_matrix`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and solver errors.
+    pub fn update_with_mask(
+        &self,
+        x_r: &Matrix,
+        x_b: &Matrix,
+        b: &Matrix,
+    ) -> Result<FingerprintMatrix> {
+        let report = self.update_report(x_r, x_b, b)?;
+        self.prior.with_matrix(report.reconstruction())
+    }
+
+    /// Full-diagnostics variant of [`Updater::update_with_mask`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and solver errors.
+    pub fn update_report(&self, x_r: &Matrix, x_b: &Matrix, b: &Matrix) -> Result<SolveReport> {
+        let (m, n) = self.prior.matrix().shape();
+        if x_b.shape() != (m, n) || b.shape() != (m, n) {
+            return Err(CoreError::DimensionMismatch {
+                context: "Updater::update (x_b / b)",
+                expected: format!("{m}x{n}"),
+                got: format!("{}x{} / {}x{}", x_b.rows(), x_b.cols(), b.rows(), b.cols()),
+            });
+        }
+        if x_r.rows() != m || x_r.cols() != self.mic.rank() {
+            return Err(CoreError::DimensionMismatch {
+                context: "Updater::update (x_r)",
+                expected: format!("{m}x{}", self.mic.rank()),
+                got: format!("{}x{}", x_r.rows(), x_r.cols()),
+            });
+        }
+        let p = if self.config.use_constraint1 {
+            Some(predict(x_r, &self.z)?)
+        } else {
+            None
+        };
+        let inputs = SolverInputs {
+            x_b: x_b.clone(),
+            b: b.clone(),
+            p,
+            per: self.prior.locations_per_link(),
+            warm_start: Some(self.prior.matrix().clone()),
+        };
+        Solver::new(inputs, self.config.clone())?.solve()
+    }
+
+    /// Convenience: runs a full update cycle against a simulated testbed
+    /// at day offset `day` with `samples` readings per surveyed cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn update_from_testbed(
+        &self,
+        testbed: &iupdater_rfsim::Testbed,
+        day: f64,
+        samples: usize,
+    ) -> Result<FingerprintMatrix> {
+        let x_r = testbed.measure_columns(self.reference_locations(), day, samples);
+        let x_b_full = testbed.fingerprint_matrix(day, samples);
+        let b = CellClassification::from_testbed(testbed).index_matrix();
+        let x_b = b.hadamard(&x_b_full)?;
+        self.update_with_mask(&x_r, &x_b, &b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iupdater_rfsim::{Environment, Testbed};
+
+    fn setup(seed: u64) -> (Testbed, Updater) {
+        let t = Testbed::new(Environment::office(), seed);
+        let prior = FingerprintMatrix::survey(&t, 0.0, 20);
+        let updater = Updater::new(prior, UpdaterConfig::default()).unwrap();
+        (t, updater)
+    }
+
+    #[test]
+    fn reference_count_is_small() {
+        let (_, updater) = setup(21);
+        let n_refs = updater.reference_locations().len();
+        // Rank ≈ M = 8 ≪ N = 96 (the labor-saving claim).
+        assert!(n_refs <= 8, "reference count {n_refs} exceeds link count");
+        assert!(n_refs >= 4, "reference count {n_refs} suspiciously small");
+    }
+
+    #[test]
+    fn update_recovers_drifted_matrix() {
+        let (t, updater) = setup(22);
+        let reconstructed = updater.update_from_testbed(&t, 45.0, 5).unwrap();
+        let truth = t.expected_fingerprint_matrix(45.0);
+        let stale = updater.prior().matrix();
+        let err_recon =
+            crate::metrics::mean_reconstruction_error(reconstructed.matrix(), &truth).unwrap();
+        let err_stale = crate::metrics::mean_reconstruction_error(stale, &truth).unwrap();
+        assert!(
+            err_recon < err_stale * 0.7,
+            "reconstruction ({err_recon} dB) must beat the stale matrix ({err_stale} dB)"
+        );
+        assert!(err_recon < 3.5, "absolute reconstruction error {err_recon} dB");
+    }
+
+    #[test]
+    fn update_shapes_validated() {
+        let (t, updater) = setup(23);
+        let x_b = t.fingerprint_matrix(5.0, 2);
+        let bad_xr = Matrix::zeros(8, 3);
+        assert!(updater.update(&bad_xr, &x_b).is_err());
+        let n_refs = updater.reference_locations().len();
+        let xr = Matrix::zeros(8, n_refs);
+        let bad_xb = Matrix::zeros(8, 90);
+        assert!(updater.update(&xr, &bad_xb).is_err());
+    }
+
+    #[test]
+    fn rank_override_truncates_references() {
+        let t = Testbed::new(Environment::office(), 24);
+        let prior = FingerprintMatrix::survey(&t, 0.0, 20);
+        let cfg = UpdaterConfig {
+            rank: Some(4),
+            ..UpdaterConfig::default()
+        };
+        let updater = Updater::new(prior, cfg).unwrap();
+        assert!(updater.reference_locations().len() <= 4);
+    }
+
+    #[test]
+    fn constraint1_improves_over_basic_rsvd() {
+        // The essence of Fig. 16: adding constraint 1 reduces error.
+        let t = Testbed::new(Environment::office(), 25);
+        let prior = FingerprintMatrix::survey(&t, 0.0, 20);
+        let truth = t.expected_fingerprint_matrix(45.0);
+        let run = |cfg: UpdaterConfig| {
+            let u = Updater::new(prior.clone(), cfg).unwrap();
+            let rec = u.update_from_testbed(&t, 45.0, 5).unwrap();
+            crate::metrics::mean_reconstruction_error(rec.matrix(), &truth).unwrap()
+        };
+        let basic = run(UpdaterConfig::basic_rsvd());
+        let with_c1 = run(UpdaterConfig::with_constraint1_only());
+        assert!(
+            with_c1 < basic,
+            "constraint 1 ({with_c1} dB) must improve on basic RSVD ({basic} dB)"
+        );
+    }
+
+    #[test]
+    fn deterministic_updates() {
+        let (t, updater) = setup(26);
+        let a = updater.update_from_testbed(&t, 15.0, 5).unwrap();
+        let b = updater.update_from_testbed(&t, 15.0, 5).unwrap();
+        assert!(a.matrix().approx_eq(b.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn accessors() {
+        let (_, updater) = setup(27);
+        assert_eq!(updater.correlation().rows(), updater.reference_locations().len());
+        assert_eq!(updater.correlation().cols(), 96);
+        assert_eq!(updater.prior().num_links(), 8);
+        assert!(updater.config().use_constraint1);
+    }
+}

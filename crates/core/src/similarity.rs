@@ -1,0 +1,127 @@
+//! Adjacent-link similarity: the Toeplitz matrix `H` (Eq. 17) and the
+//! ALS statistic (Eq. 6).
+//!
+//! `H = Toeplitz(-1, 1, 0)_{M x M}` computes first differences down the
+//! link axis of `X_D`: `(H X_D)(i, u) = X_D(i, u) - X_D(i-1, u)` for
+//! `i >= 1`. Small values mean adjacent links see similar RSS at the
+//! same relative locations (Obs. 3), which constraint 2 exploits.
+//!
+//! **Deviation from the printed paper:** Eq. (17)'s Toeplitz matrix has
+//! first row `[1, 0, …, 0]`, which would make `‖H X_D‖²` penalise link
+//! 1's *raw* RSS (pulling −60 dBm readings toward 0) rather than a
+//! difference. We zero the first row so every row of `H X_D` is an
+//! adjacent-link difference; this is the only reading under which the
+//! constraint expresses Observation 3.
+
+use iupdater_linalg::Matrix;
+
+use crate::{CoreError, Result};
+
+/// Builds the similarity matrix `H` (Eq. 17, first row zeroed — see the
+/// module docs) for `m` links.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] if `m == 0`.
+pub fn similarity_matrix(m: usize) -> Result<Matrix> {
+    if m == 0 {
+        return Err(CoreError::InvalidArgument("need at least one link"));
+    }
+    let mut h = Matrix::toeplitz_banded(m, 1.0, -1.0, 0.0);
+    h[(0, 0)] = 0.0;
+    Ok(h)
+}
+
+/// The ALS (adjacent-link similarity) statistics of Eq. (6): for every
+/// `X_D` entry with `i >= 1`, the absolute difference to the same
+/// relative location on the previous link, normalised by the maximum
+/// such difference.
+///
+/// Returns `(M - 1) * per` values (the sample set whose CDF is Fig. 9).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] if `xd` has fewer than 2 rows
+/// or all adjacent-link differences are zero.
+pub fn als_values(xd: &Matrix) -> Result<Vec<f64>> {
+    if xd.rows() < 2 {
+        return Err(CoreError::InvalidArgument("ALS needs at least 2 links"));
+    }
+    let mut diffs = Vec::with_capacity((xd.rows() - 1) * xd.cols());
+    for i in 1..xd.rows() {
+        for u in 0..xd.cols() {
+            diffs.push((xd[(i, u)] - xd[(i - 1, u)]).abs());
+        }
+    }
+    let max = diffs.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return Err(CoreError::InvalidArgument(
+            "ALS normaliser is zero (identical adjacent links)",
+        ));
+    }
+    Ok(diffs.into_iter().map(|d| d / max).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_matches_eq17_with_zeroed_first_row() {
+        let h = similarity_matrix(4).unwrap();
+        let expected = Matrix::from_rows(&[
+            &[0.0, 0.0, 0.0, 0.0],
+            &[-1.0, 1.0, 0.0, 0.0],
+            &[0.0, -1.0, 1.0, 0.0],
+            &[0.0, 0.0, -1.0, 1.0],
+        ]);
+        assert_eq!(h, expected);
+    }
+
+    #[test]
+    fn h_xd_computes_adjacent_differences() {
+        let xd = Matrix::from_rows(&[&[-60.0, -62.0], &[-61.0, -64.0], &[-59.0, -66.0]]);
+        let h = similarity_matrix(3).unwrap();
+        let prod = h.matmul(&xd).unwrap();
+        // Row 0 carries no raw-value penalty.
+        assert_eq!(prod[(0, 0)], 0.0);
+        // Row i>0: difference to the previous link.
+        assert_eq!(prod[(1, 0)], -61.0 - -60.0);
+        assert_eq!(prod[(2, 1)], -66.0 - -64.0);
+    }
+
+    #[test]
+    fn identical_links_annihilated() {
+        let xd = Matrix::from_fn(4, 5, |_, u| -(60.0 + u as f64));
+        let h = similarity_matrix(4).unwrap();
+        let prod = h.matmul(&xd).unwrap();
+        assert!(prod.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn als_normalised_to_unit_max() {
+        let xd = Matrix::from_rows(&[&[-60.0, -62.0], &[-61.0, -66.0]]);
+        let vals = als_values(&xd).unwrap();
+        assert_eq!(vals.len(), 2);
+        let max = vals.iter().cloned().fold(0.0_f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(vals.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn als_similar_links_mostly_small() {
+        // Links nearly identical except one outlier pair: most ALS values
+        // should be far below the (outlier-driven) max.
+        let mut xd = Matrix::from_fn(6, 10, |_, u| -(60.0 + u as f64));
+        xd[(3, 4)] = -80.0;
+        let vals = als_values(&xd).unwrap();
+        let below_02 = vals.iter().filter(|&&v| v < 0.2).count();
+        assert!(below_02 as f64 / vals.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn als_rejects_degenerate() {
+        assert!(als_values(&Matrix::zeros(1, 4)).is_err());
+        assert!(als_values(&Matrix::from_fn(3, 4, |_, u| u as f64)).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Ablations of the design choices DESIGN.md §5 calls out, with
+//! accuracy comparisons (the timing side lives in
+//! `iupdater-bench/benches/ablations.rs`).
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::Scenario;
+use iupdater_core::config::AtomSelection;
+use iupdater_core::metrics::mean_reconstruction_error;
+use iupdater_core::prelude::*;
+use iupdater_core::{CouplingMode, ScalingMode};
+use iupdater_linalg::stats::mean;
+
+/// Evaluation day for all ablations.
+pub const EVAL_DAY: f64 = 45.0;
+
+/// Reconstruction error of an updater configuration at [`EVAL_DAY`].
+fn recon_error(s: &Scenario, cfg: UpdaterConfig) -> f64 {
+    let updater = Updater::new(s.prior().clone(), cfg).expect("updater");
+    let rec = s.reconstruct_with(&updater, EVAL_DAY);
+    mean_reconstruction_error(rec.matrix(), &s.ground_truth(EVAL_DAY)).expect("shapes")
+}
+
+/// Localization error with an atom-selection rule at [`EVAL_DAY`].
+fn loc_error(s: &Scenario, selection: AtomSelection) -> f64 {
+    let rec = s.reconstruct(EVAL_DAY);
+    let localizer = Localizer::new(
+        rec,
+        LocalizerConfig {
+            selection,
+            ..LocalizerConfig::default()
+        },
+    );
+    let d = s.testbed().deployment();
+    let errs: Vec<f64> = (0..d.num_locations())
+        .step_by(2)
+        .map(|j| {
+            let y = s.testbed().online_measurement(j, EVAL_DAY, 5000 + j as u64);
+            let est = localizer.localize(&y).expect("localize");
+            d.location(j).distance(d.location(est.grid))
+        })
+        .collect();
+    mean(&errs)
+}
+
+/// Runs all accuracy ablations and reports them as one figure.
+pub fn run() -> FigureResult {
+    let s = Scenario::office();
+    let mut fig = FigureResult::new(
+        "ablations",
+        "Design-choice ablations (reconstruction dB / localization m at 45 days)",
+        "variant",
+        "error",
+    );
+
+    let coupling_exact = recon_error(
+        &s,
+        UpdaterConfig {
+            coupling: CouplingMode::Exact,
+            ..UpdaterConfig::default()
+        },
+    );
+    let coupling_paper = recon_error(
+        &s,
+        UpdaterConfig {
+            coupling: CouplingMode::PaperLiteral,
+            ..UpdaterConfig::default()
+        },
+    );
+    let scaling_fixed = recon_error(
+        &s,
+        UpdaterConfig {
+            scaling: ScalingMode::Fixed,
+            ..UpdaterConfig::default()
+        },
+    );
+    let scaling_auto = recon_error(
+        &s,
+        UpdaterConfig {
+            scaling: ScalingMode::Auto,
+            ..UpdaterConfig::default()
+        },
+    );
+    let sel_binary = loc_error(&s, AtomSelection::BinaryResidual);
+    let sel_corr = loc_error(&s, AtomSelection::Correlation);
+
+    fig.x_labels = vec![
+        "coupling: exact".into(),
+        "coupling: paper-literal".into(),
+        "scaling: fixed".into(),
+        "scaling: auto".into(),
+        "selection: binary-residual".into(),
+        "selection: correlation".into(),
+    ];
+    fig.series.push(Series::from_ys(
+        "error (dB for reconstruction rows, m for selection rows)",
+        &[
+            coupling_exact,
+            coupling_paper,
+            scaling_fixed,
+            scaling_auto,
+            sel_binary,
+            sel_corr,
+        ],
+    ));
+    fig.notes.push(format!(
+        "coupling: exact {coupling_exact:.3} dB vs paper-literal {coupling_paper:.3} dB"
+    ));
+    fig.notes.push(format!(
+        "scaling: fixed {scaling_fixed:.3} dB vs auto {scaling_auto:.3} dB"
+    ));
+    fig.notes.push(format!(
+        "atom selection: binary-residual {sel_binary:.3} m vs correlation {sel_corr:.3} m"
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_coupling_not_worse_than_paper_literal() {
+        let s = Scenario::office();
+        let exact = recon_error(
+            &s,
+            UpdaterConfig {
+                coupling: CouplingMode::Exact,
+                ..UpdaterConfig::default()
+            },
+        );
+        let paper = recon_error(
+            &s,
+            UpdaterConfig {
+                coupling: CouplingMode::PaperLiteral,
+                ..UpdaterConfig::default()
+            },
+        );
+        assert!(
+            exact <= paper * 1.05,
+            "exact coupling ({exact:.3} dB) should not lose to paper-literal ({paper:.3} dB)"
+        );
+    }
+
+    #[test]
+    fn auto_scaling_stays_sane_with_clamps() {
+        let s = Scenario::office();
+        let fixed = recon_error(
+            &s,
+            UpdaterConfig {
+                scaling: ScalingMode::Fixed,
+                ..UpdaterConfig::default()
+            },
+        );
+        let auto = recon_error(
+            &s,
+            UpdaterConfig {
+                scaling: ScalingMode::Auto,
+                ..UpdaterConfig::default()
+            },
+        );
+        assert!(
+            auto < fixed * 2.0,
+            "clamped auto scaling ({auto:.3} dB) must stay near fixed ({fixed:.3} dB)"
+        );
+    }
+
+    #[test]
+    fn binary_residual_selection_beats_correlation() {
+        let s = Scenario::office();
+        let binary = loc_error(&s, AtomSelection::BinaryResidual);
+        let corr = loc_error(&s, AtomSelection::Correlation);
+        assert!(
+            binary < corr,
+            "binary-residual ({binary:.3} m) must beat correlation OMP ({corr:.3} m) \
+             on near-parallel fingerprint columns"
+        );
+    }
+}

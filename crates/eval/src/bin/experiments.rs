@@ -1,0 +1,92 @@
+//! The experiment runner: regenerates any or all of the paper's figures
+//! and tables.
+//!
+//! ```text
+//! experiments                 # run everything, print markdown
+//! experiments fig16 fig18     # run selected experiments
+//! experiments --csv fig21     # CSV to stdout
+//! experiments --out results/  # also write one CSV per experiment
+//! experiments --list          # list experiment ids
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use iupdater_eval::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--out" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                });
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--list" => {
+                for (id, desc, _) in all_experiments() {
+                    println!("{id:12} {desc}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--csv] [--out DIR] [--list] [IDS...]\n\
+                     Regenerates the iUpdater paper's figures/tables. With no IDS, runs all."
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+
+    let experiments = all_experiments();
+    let selected: Vec<_> = if wanted.is_empty() {
+        experiments
+    } else {
+        let known: Vec<&str> = experiments.iter().map(|e| e.0).collect();
+        for w in &wanted {
+            if !known.contains(&w.as_str()) {
+                eprintln!("unknown experiment '{w}'; use --list");
+                std::process::exit(2);
+            }
+        }
+        experiments
+            .into_iter()
+            .filter(|(id, _, _)| wanted.iter().any(|w| w == id))
+            .collect()
+    };
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    for (id, desc, runner) in selected {
+        eprintln!("running {id} ({desc})...");
+        let start = std::time::Instant::now();
+        let result = runner();
+        eprintln!("  done in {:.1} s", start.elapsed().as_secs_f64());
+        if csv {
+            println!("{}", result.to_csv());
+        } else {
+            println!("{}", result.to_markdown());
+        }
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{id}.csv"));
+            if let Err(e) = fs::write(&path, result.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Extension experiment (not in the paper's figures, but central to its
+//! labor accounting): how many RSS samples per reference location does
+//! the update really need?
+//!
+//! Sec. VI-C claims iUpdater gets away with 5 samples (vs the
+//! traditional 50) because the *difference* structure it exploits is
+//! stable. This sweep quantifies the accuracy-vs-samples curve, i.e.
+//! where the labor model's `s'` can sit.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::Scenario;
+use iupdater_core::metrics::mean_reconstruction_error;
+use iupdater_rfsim::labor::LaborModel;
+
+/// Evaluation day.
+pub const EVAL_DAY: f64 = 45.0;
+
+/// The sample counts swept.
+pub const SAMPLE_COUNTS: [usize; 5] = [1, 3, 5, 10, 20];
+
+/// Runs the sweep.
+pub fn run() -> FigureResult {
+    let s = Scenario::office();
+    let truth = s.ground_truth(EVAL_DAY);
+    let labor = LaborModel::default();
+    let n_refs = s.updater().reference_locations().len();
+
+    let mut fig = FigureResult::new(
+        "ext-samples",
+        "Samples per reference location vs reconstruction error",
+        "samples per location",
+        "error [dB] / labor [s]",
+    );
+    let mut errors = Vec::new();
+    let mut costs = Vec::new();
+    for &count in SAMPLE_COUNTS.iter() {
+        let rec = s
+            .updater()
+            .update_from_testbed(s.testbed(), EVAL_DAY, count)
+            .expect("update");
+        let err = mean_reconstruction_error(rec.matrix(), &truth).expect("shapes");
+        errors.push((count as f64, err));
+        costs.push((count as f64, labor.survey_time_s(n_refs, count)));
+        fig.notes.push(format!(
+            "{count} samples: error {err:.3} dB, labor {:.0} s",
+            labor.survey_time_s(n_refs, count)
+        ));
+    }
+    fig.series
+        .push(Series::from_points("reconstruction error [dB]", errors));
+    fig.series.push(Series::from_points("update labor [s]", costs));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_samples_close_to_twenty() {
+        // The paper's operating point: 5 samples lose little vs heavy
+        // averaging, because the stable difference structure does the
+        // denoising.
+        let fig = run();
+        let errs = &fig.series_by_label("reconstruction error [dB]").unwrap().points;
+        let err_at = |count: f64| {
+            errs.iter()
+                .find(|p| p.0 == count)
+                .map(|p| p.1)
+                .expect("sample count present")
+        };
+        let e5 = err_at(5.0);
+        let e20 = err_at(20.0);
+        assert!(
+            e5 < e20 + 0.5,
+            "5 samples ({e5:.3} dB) should be within 0.5 dB of 20 samples ({e20:.3} dB)"
+        );
+        // And even 1 sample must remain usable (sub-2x of the 20-sample error + floor).
+        let e1 = err_at(1.0);
+        assert!(e1 < e20 * 3.0 + 1.0, "1 sample ({e1:.3} dB) unusable");
+    }
+
+    #[test]
+    fn labor_grows_linearly_with_samples() {
+        let fig = run();
+        let costs = &fig.series_by_label("update labor [s]").unwrap().points;
+        // Cost difference between consecutive counts is proportional to
+        // the sample increment (the move time is constant).
+        let cost_at = |count: f64| costs.iter().find(|p| p.0 == count).unwrap().1;
+        let slope_a = (cost_at(10.0) - cost_at(5.0)) / 5.0;
+        let slope_b = (cost_at(20.0) - cost_at(10.0)) / 10.0;
+        assert!((slope_a - slope_b).abs() < 1e-9, "labor must be linear in samples");
+    }
+}

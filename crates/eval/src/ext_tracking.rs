@@ -1,0 +1,100 @@
+//! Extension experiment (not in the paper): device-free *tracking* on
+//! top of the iUpdater-maintained database — Viterbi decoding vs
+//! epoch-independent OMP matching, on stale vs reconstructed databases.
+//!
+//! This quantifies the end-to-end benefit for the RASS-style tracking
+//! application the paper compares against.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::Scenario;
+use iupdater_core::prelude::*;
+use iupdater_core::tracking::{Tracker, TrackerConfig};
+use iupdater_linalg::stats::mean;
+use iupdater_rfsim::trajectory::Trajectory;
+
+/// Evaluation day.
+pub const EVAL_DAY: f64 = 45.0;
+
+/// Per-epoch tracking errors for a database/decoder combination.
+fn run_arm(
+    s: &Scenario,
+    database: &FingerprintMatrix,
+    use_viterbi: bool,
+    walk_seed: u64,
+) -> Vec<f64> {
+    let d = s.testbed().deployment();
+    let walk = Trajectory::random_walk(d, d.num_locations() / 2, 60, walk_seed);
+    let measurements = walk.measurements(s.testbed(), EVAL_DAY, 6000 + walk_seed);
+    let estimates: Vec<usize> = if use_viterbi {
+        Tracker::new(database, d, TrackerConfig::default())
+            .expect("tracker")
+            .track(&measurements)
+            .expect("track")
+    } else {
+        let localizer = Localizer::new(database.clone(), LocalizerConfig::default());
+        measurements
+            .iter()
+            .map(|y| localizer.localize(y).expect("localize").grid)
+            .collect()
+    };
+    walk.cells()
+        .iter()
+        .zip(&estimates)
+        .map(|(&t, &e)| d.location(t).distance(d.location(e)))
+        .collect()
+}
+
+/// Runs the tracking extension experiment.
+pub fn run() -> FigureResult {
+    let s = Scenario::office();
+    let fresh = s.reconstruct(EVAL_DAY);
+    let stale = s.prior().clone();
+
+    let mut fig = FigureResult::new(
+        "ext-tracking",
+        "Tracking extension: Viterbi vs independent matching at 45 days",
+        "walk realisation",
+        "mean tracking error [m]",
+    );
+    let arms: [(&str, &FingerprintMatrix, bool); 4] = [
+        ("iUpdater + Viterbi", &fresh, true),
+        ("iUpdater + independent", &fresh, false),
+        ("stale + Viterbi", &stale, true),
+        ("stale + independent", &stale, false),
+    ];
+    for (label, db, viterbi) in arms {
+        let ys: Vec<f64> = (0..4)
+            .map(|k| mean(&run_arm(&s, db, viterbi, 100 + k)))
+            .collect();
+        fig.notes
+            .push(format!("{label}: mean over walks {:.2} m", mean(&ys)));
+        fig.series.push(Series::from_ys(label, &ys));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn viterbi_on_fresh_database_wins() {
+        let fig = run();
+        let avg = |label: &str| {
+            let s = fig.series_by_label(label).expect("series");
+            s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64
+        };
+        let best = avg("iUpdater + Viterbi");
+        let fresh_indep = avg("iUpdater + independent");
+        let stale_vit = avg("stale + Viterbi");
+        assert!(
+            best <= fresh_indep,
+            "Viterbi ({best:.2} m) must not lose to independent matching ({fresh_indep:.2} m)"
+        );
+        assert!(
+            best <= stale_vit,
+            "fresh database ({best:.2} m) must not lose to stale ({stale_vit:.2} m)"
+        );
+        assert!(best < 2.0, "headline tracking error {best:.2} m");
+    }
+}

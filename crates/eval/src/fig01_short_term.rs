@@ -1,0 +1,57 @@
+//! Fig. 1: RSS measurements vary by ~5 dB within 100 seconds.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::Scenario;
+
+/// Regenerates Fig. 1: a 100 s RSS trace (200 samples at 0.5 s) of one
+/// office link with a target parked at one grid cell.
+pub fn run() -> FigureResult {
+    let s = Scenario::office();
+    let cell = (0usize, 5usize);
+    let grid = s.prior().location_index(cell.0, cell.1);
+    let trace = s
+        .testbed()
+        .synced_traces(&[(cell.0, grid)], 0.0, 200)
+        .remove(0);
+    let points: Vec<(f64, f64)> = trace
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| (k as f64 * 0.5, v))
+        .collect();
+
+    let max = trace.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = trace.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut fig = FigureResult::new(
+        "fig1",
+        "Short-term RSS variation over 100 s",
+        "time [s]",
+        "RSS [dBm]",
+    );
+    fig.series.push(Series::from_points("RSS trace", points));
+    fig.notes.push(format!(
+        "peak-to-peak variation: {:.1} dB (paper: ~5 dB)",
+        max - min
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_matches_paper_shape() {
+        let fig = run();
+        let trace = &fig.series[0].points;
+        assert_eq!(trace.len(), 200);
+        let ys: Vec<f64> = trace.iter().map(|p| p.1).collect();
+        let max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Paper: ~5 dB peak-to-peak.
+        assert!((2.5..9.0).contains(&(max - min)), "pp = {}", max - min);
+        // Plausible dBm levels.
+        assert!(ys.iter().all(|&v| (-95.0..-30.0).contains(&v)));
+        // Time axis spans 100 s.
+        assert!((trace.last().unwrap().0 - 99.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 6: RSS *differences* — between neighbouring locations and
+//! between adjacent links — are far more stable than the raw RSS
+//! readings, because interference and drift are common-mode.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::Scenario;
+use iupdater_linalg::stats::std_dev;
+
+/// Regenerates Fig. 6: de-meaned traces of (a) the raw RSS of one cell,
+/// (b) the difference between two neighbouring cells on the same link,
+/// and (c) the difference between the same relative cells of two
+/// adjacent links, over 100 s.
+pub fn run() -> FigureResult {
+    let s = Scenario::office();
+    let fp = s.prior();
+    let cell_a = fp.location_index(2, 5);
+    let cell_b = fp.location_index(2, 6); // neighbour on the same link
+    let cell_c = fp.location_index(3, 5); // same relative cell, next link
+    let traces = s
+        .testbed()
+        .synced_traces(&[(2, cell_a), (2, cell_b), (3, cell_c)], 0.0, 200);
+
+    let demean = |v: &[f64]| -> Vec<f64> {
+        let m = iupdater_linalg::stats::mean(v);
+        v.iter().map(|x| x - m).collect()
+    };
+    let raw = demean(&traces[0]);
+    let neighbor_diff: Vec<f64> = demean(
+        &traces[0]
+            .iter()
+            .zip(&traces[1])
+            .map(|(a, b)| a - b)
+            .collect::<Vec<_>>(),
+    );
+    let link_diff: Vec<f64> = demean(
+        &traces[0]
+            .iter()
+            .zip(&traces[2])
+            .map(|(a, c)| a - c)
+            .collect::<Vec<_>>(),
+    );
+
+    let to_points = |v: &[f64]| -> Vec<(f64, f64)> {
+        v.iter().enumerate().map(|(k, &y)| (k as f64 * 0.5, y)).collect()
+    };
+    let mut fig = FigureResult::new(
+        "fig6",
+        "Stability of RSS differences vs raw RSS (de-meaned, 100 s)",
+        "time [s]",
+        "deviation [dB]",
+    );
+    fig.series.push(Series::from_points("RSS readings", to_points(&raw)));
+    fig.series.push(Series::from_points(
+        "RSS difference of neighboring locations",
+        to_points(&neighbor_diff),
+    ));
+    fig.series.push(Series::from_points(
+        "RSS difference of adjacent links",
+        to_points(&link_diff),
+    ));
+    fig.notes.push(format!(
+        "std dev — raw: {:.2} dB, neighbour diff: {:.2} dB, adjacent-link diff: {:.2} dB",
+        std_dev(&raw),
+        std_dev(&neighbor_diff),
+        std_dev(&link_diff)
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differences_are_stabler_than_raw() {
+        let fig = run();
+        let std_of = |label: &str| {
+            let ys: Vec<f64> = fig
+                .series_by_label(label)
+                .expect("series present")
+                .points
+                .iter()
+                .map(|p| p.1)
+                .collect();
+            std_dev(&ys)
+        };
+        let raw = std_of("RSS readings");
+        let nd = std_of("RSS difference of neighboring locations");
+        let ld = std_of("RSS difference of adjacent links");
+        assert!(nd < raw, "neighbour diff std {nd} must be below raw {raw}");
+        assert!(ld < raw * 1.7, "link diff std {ld} should not blow up vs raw {raw}");
+    }
+
+    #[test]
+    fn traces_span_100_seconds() {
+        let fig = run();
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 200);
+            assert!((s.points.last().unwrap().0 - 99.5).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Fig. 9: CDF of the adjacent-link-similarity (ALS) statistic — in the
+//! paper, more than 80 % of values fall below a normalised difference
+//! of 0.4 at every timestamp.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::{Scenario, INITIAL_SURVEY_SAMPLES, TIMESTAMPS};
+use iupdater_core::{decrease, similarity, FingerprintMatrix};
+use iupdater_linalg::stats::Ecdf;
+
+/// Regenerates Fig. 9: ALS CDFs at the six timestamps.
+pub fn run() -> FigureResult {
+    let s = Scenario::office();
+    let mut fig = FigureResult::new(
+        "fig9",
+        "Similarity between the largely-decrease RSS of adjacent links (ALS)",
+        "difference between adjacent links [normalised]",
+        "CDF [%]",
+    );
+    let mut stamps: Vec<(String, f64)> = vec![("original time".to_string(), 0.0)];
+    stamps.extend(TIMESTAMPS.iter().map(|&(l, d)| (format!("{l} later"), d)));
+    for (label, day) in stamps {
+        let fp = FingerprintMatrix::survey(s.testbed(), day, INITIAL_SURVEY_SAMPLES);
+        let xd = decrease::extract(fp.matrix(), fp.locations_per_link()).expect("X_D shape");
+        let vals = similarity::als_values(&xd).expect("ALS values");
+        let ecdf = Ecdf::new(&vals);
+        fig.series.push(Series::from_points(
+            label.clone(),
+            ecdf.curve(50).into_iter().map(|(x, p)| (x, p * 100.0)).collect(),
+        ));
+        fig.notes.push(format!(
+            "{label}: P(ALS < 0.4) = {:.1} %",
+            ecdf.eval(0.4) * 100.0
+        ));
+    }
+    fig.notes
+        .push("paper: more than 80 % of ALS values below 0.4".into());
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_holds_at_every_timestamp() {
+        let s = Scenario::office();
+        let mut stamps = vec![0.0];
+        stamps.extend(TIMESTAMPS.iter().map(|&(_, d)| d));
+        for day in stamps {
+            let fp = FingerprintMatrix::survey(s.testbed(), day, INITIAL_SURVEY_SAMPLES);
+            let xd = decrease::extract(fp.matrix(), fp.locations_per_link()).unwrap();
+            let vals = similarity::als_values(&xd).unwrap();
+            let ecdf = Ecdf::new(&vals);
+            let frac = ecdf.eval(0.4);
+            // Paper reports >80 %; the simulated testbed lands between
+            // 60 and 80 % (our per-link gain spread is not calibrated
+            // out — the paper's footnote 3 notes the same effect). The
+            // qualitative property (a clear majority of adjacent-link
+            // differences are small) is what constraint 2 relies on.
+            assert!(
+                frac > 0.55,
+                "day {day}: only {:.1} % of ALS values below 0.4 (paper: >80 %)",
+                frac * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn figure_shape() {
+        let fig = run();
+        assert_eq!(fig.series.len(), 6);
+        for s in &fig.series {
+            for p in &s.points {
+                assert!((0.0..=1.0 + 1e-9).contains(&p.0), "normalised x axis");
+            }
+        }
+    }
+}

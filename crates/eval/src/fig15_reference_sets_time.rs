@@ -1,0 +1,79 @@
+//! Fig. 15: mean reconstruction error for the four reference-set arms
+//! of Fig. 14, tracked across the five update timestamps.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::{Scenario, TIMESTAMPS};
+use iupdater_baselines::random_ref::{add_random, drop_references, random_locations};
+use iupdater_core::metrics::mean_reconstruction_error;
+
+/// Regenerates Fig. 15.
+pub fn run() -> FigureResult {
+    let s = Scenario::office();
+    let refs = s.updater().reference_locations().to_vec();
+    let n = s.prior().num_locations();
+    let arms: Vec<(String, Vec<usize>)> = vec![
+        ("7 reference locations".into(), drop_references(&refs, 1, 7)),
+        ("8 reference locations (iUpdater)".into(), refs.clone()),
+        (
+            "(8 reference + 1 random) locations".into(),
+            add_random(&refs, n, 1, 11),
+        ),
+        ("11 random locations".into(), random_locations(n, 11, 13)),
+    ];
+
+    let mut fig = FigureResult::new(
+        "fig15",
+        "Reconstruction error vs reference sets across timestamps",
+        "timestamp",
+        "reconstruction error [dB]",
+    );
+    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    for (label, locations) in &arms {
+        let ys: Vec<f64> = TIMESTAMPS
+            .iter()
+            .map(|&(_, day)| {
+                let rec = s.reconstruct_with_references(locations, day);
+                mean_reconstruction_error(rec.matrix(), &s.ground_truth(day)).expect("shapes")
+            })
+            .collect();
+        fig.series.push(Series::from_ys(label.clone(), &ys));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_holds_on_average_across_time() {
+        let fig = run();
+        let avg = |label: &str| {
+            let s = fig.series_by_label(label).expect("series");
+            s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64
+        };
+        let eight = avg("8 reference locations (iUpdater)");
+        let seven = avg("7 reference locations");
+        let random11 = avg("11 random locations");
+        assert!(seven > eight, "7 refs ({seven}) must average worse than 8 ({eight})");
+        assert!(
+            random11 > eight,
+            "11 random ({random11}) must average worse than 8 MIC ({eight})"
+        );
+        // Errors stay bounded (the method "works well with time").
+        for s in &fig.series {
+            for p in &s.points {
+                assert!(p.1 < 12.0, "{}: error {} dB out of scale", s.label, p.1);
+            }
+        }
+    }
+
+    #[test]
+    fn five_timestamps_per_series() {
+        let fig = run();
+        assert_eq!(fig.series.len(), 4);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 5);
+        }
+    }
+}

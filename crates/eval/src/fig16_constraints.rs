@@ -1,0 +1,76 @@
+//! Fig. 16: the two constraints each cut the reconstruction error —
+//! basic RSVD alone is poor, adding constraint 1 (MIC correlation)
+//! reduces the error a lot, and adding constraint 2 (continuity +
+//! similarity) reduces it further, at all five timestamps.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::{Scenario, TIMESTAMPS};
+use iupdater_core::metrics::mean_reconstruction_error;
+use iupdater_core::{Updater, UpdaterConfig};
+
+/// Regenerates Fig. 16.
+pub fn run() -> FigureResult {
+    let s = Scenario::office();
+    let arms: Vec<(&str, UpdaterConfig)> = vec![
+        ("RSVD", UpdaterConfig::basic_rsvd()),
+        ("RSVD + Constraint 1", UpdaterConfig::with_constraint1_only()),
+        (
+            "RSVD + Constraint 1 + Constraint 2",
+            UpdaterConfig::default(),
+        ),
+    ];
+
+    let mut fig = FigureResult::new(
+        "fig16",
+        "Reconstruction error when adding the constraints",
+        "timestamp",
+        "reconstruction error [dB]",
+    );
+    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    for (label, cfg) in arms {
+        let updater = Updater::new(s.prior().clone(), cfg).expect("updater");
+        let ys: Vec<f64> = TIMESTAMPS
+            .iter()
+            .map(|&(_, day)| {
+                let rec = s.reconstruct_with(&updater, day);
+                mean_reconstruction_error(rec.matrix(), &s.ground_truth(day)).expect("shapes")
+            })
+            .collect();
+        fig.series.push(Series::from_ys(label, &ys));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraints_reduce_error_in_order() {
+        let fig = run();
+        let avg = |label: &str| {
+            let s = fig.series_by_label(label).expect("series");
+            s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64
+        };
+        let basic = avg("RSVD");
+        let c1 = avg("RSVD + Constraint 1");
+        let c12 = avg("RSVD + Constraint 1 + Constraint 2");
+        assert!(
+            c1 < basic * 0.8,
+            "constraint 1 should cut the error a lot: {c1} vs {basic}"
+        );
+        assert!(
+            c12 <= c1 * 1.02,
+            "constraint 2 should further reduce (or at least not hurt): {c12} vs {c1}"
+        );
+    }
+
+    #[test]
+    fn three_series_five_stamps() {
+        let fig = run();
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 5);
+        }
+    }
+}

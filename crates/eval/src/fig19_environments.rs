@@ -1,0 +1,79 @@
+//! Fig. 19: reconstruction error per environment — lowest in the hall
+//! (low multipath), higher in the office, highest in the library (rich
+//! NLoS multipath), at every timestamp.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::{Scenario, TIMESTAMPS};
+use iupdater_core::metrics::mean_reconstruction_error;
+
+/// Regenerates Fig. 19.
+pub fn run() -> FigureResult {
+    let mut fig = FigureResult::new(
+        "fig19",
+        "Reconstruction errors in different environments",
+        "timestamp",
+        "reconstruction error [dB]",
+    );
+    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    for (kind, scenario) in Scenario::all_environments() {
+        let ys: Vec<f64> = TIMESTAMPS
+            .iter()
+            .map(|&(_, day)| {
+                let rec = scenario.reconstruct(day);
+                mean_reconstruction_error(rec.matrix(), &scenario.ground_truth(day))
+                    .expect("shapes")
+            })
+            .collect();
+        let label = match kind.to_string().as_str() {
+            "hall" => "Hall (low multipath)",
+            "office" => "Office (medium multipath)",
+            "library" => "Library (high multipath)",
+            other => return panic_unknown(other),
+        };
+        fig.series.push(Series::from_ys(label, &ys));
+    }
+    fig
+}
+
+fn panic_unknown(kind: &str) -> FigureResult {
+    panic!("unexpected environment kind {kind}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environment_ordering_matches_paper() {
+        let fig = run();
+        let avg = |label: &str| {
+            let s = fig.series_by_label(label).expect("series");
+            s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64
+        };
+        let hall = avg("Hall (low multipath)");
+        let office = avg("Office (medium multipath)");
+        let library = avg("Library (high multipath)");
+        assert!(
+            hall < office,
+            "hall ({hall} dB) should beat office ({office} dB)"
+        );
+        assert!(
+            office < library * 1.1,
+            "office ({office} dB) should be at or below library ({library} dB)"
+        );
+        // Library error after 3 months is still bounded (paper: 4.9 dB,
+        // comparable to the RSS random variation).
+        let lib_series = fig.series_by_label("Library (high multipath)").unwrap();
+        let last = lib_series.points.last().unwrap().1;
+        assert!(last < 8.0, "library 3-month error {last} dB out of scale");
+    }
+
+    #[test]
+    fn three_environments_five_stamps() {
+        let fig = run();
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 5);
+        }
+    }
+}

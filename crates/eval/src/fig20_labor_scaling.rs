@@ -1,0 +1,88 @@
+//! Fig. 20: fingerprint-update time cost as the deployment area grows
+//! (2x to 10x the office edge length). Traditional resurvey cost grows
+//! with the location count (~area, quadratic in the edge), while
+//! iUpdater's grows only with the link count (~edge), so the saving
+//! widens with scale.
+
+use crate::report::{FigureResult, Series};
+use iupdater_rfsim::labor::{AreaScaling, LaborModel};
+
+/// Regenerates Fig. 20.
+pub fn run() -> FigureResult {
+    let labor = LaborModel::default();
+    let scaling = AreaScaling::default();
+    let ks: Vec<usize> = (2..=10).collect();
+
+    let mut fig = FigureResult::new(
+        "fig20",
+        "Fingerprint update time cost vs area scale",
+        "times the office edge length",
+        "time cost [hours]",
+    );
+    let iupdater: Vec<(f64, f64)> = ks
+        .iter()
+        .map(|&k| {
+            (
+                k as f64,
+                labor.survey_time_hours(scaling.links_at(k), 5),
+            )
+        })
+        .collect();
+    let traditional: Vec<(f64, f64)> = ks
+        .iter()
+        .map(|&k| {
+            (
+                k as f64,
+                labor.survey_time_hours(scaling.locations_at(k), 50),
+            )
+        })
+        .collect();
+    fig.series.push(Series::from_points("iUpdater", iupdater));
+    fig.series
+        .push(Series::from_points("Existing systems", traditional));
+    let saving_10 = 1.0
+        - labor.survey_time_s(scaling.links_at(10), 5)
+            / labor.survey_time_s(scaling.locations_at(10), 50);
+    fig.notes.push(format!(
+        "at 10x the edge length the saving reaches {:.2} %",
+        saving_10 * 100.0
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traditional_cost_grows_quadratically_iupdater_linearly() {
+        let fig = run();
+        let tr = fig.series_by_label("Existing systems").unwrap();
+        let iu = fig.series_by_label("iUpdater").unwrap();
+        // Doubling k roughly quadruples traditional cost...
+        let t2 = tr.points[0].1; // k = 2
+        let t4 = tr.points[2].1; // k = 4
+        assert!((t4 / t2 - 4.0).abs() < 0.5, "traditional growth {}", t4 / t2);
+        // ...but only doubles iUpdater's.
+        let i2 = iu.points[0].1;
+        let i4 = iu.points[2].1;
+        assert!((i4 / i2 - 2.0).abs() < 0.4, "iUpdater growth {}", i4 / i2);
+    }
+
+    #[test]
+    fn iupdater_always_cheaper_and_gap_widens() {
+        let fig = run();
+        let tr = fig.series_by_label("Existing systems").unwrap();
+        let iu = fig.series_by_label("iUpdater").unwrap();
+        let mut prev_gap = 0.0;
+        for (t, i) in tr.points.iter().zip(&iu.points) {
+            assert!(i.1 < t.1, "iUpdater must always be cheaper");
+            let gap = t.1 - i.1;
+            assert!(gap > prev_gap, "saving must widen with scale");
+            prev_gap = gap;
+        }
+        // Fig. 20's scale: tens of hours at 10x.
+        assert!(tr.points.last().unwrap().1 > 30.0);
+        assert!(iu.points.last().unwrap().1 < 1.0);
+    }
+}

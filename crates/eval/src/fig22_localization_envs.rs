@@ -1,0 +1,103 @@
+//! Fig. 22: average localization errors in all three environments at the
+//! five timestamps, for the three databases (ground truth, iUpdater,
+//! stale). The paper reports iUpdater tracking the ground-truth matrix
+//! closely while improving on the stale matrix by 66.7 % / 57.4 % /
+//! 55.1 % in the hall / office / library.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::{Scenario, INITIAL_SURVEY_SAMPLES, TIMESTAMPS};
+use iupdater_core::FingerprintMatrix;
+use iupdater_linalg::stats::mean;
+
+/// Grid-location stride for the per-environment sweeps (keeps the full
+/// 3 envs x 5 stamps x 3 methods sweep fast).
+const STRIDE: usize = 2;
+
+/// Regenerates Fig. 22. Series are labelled
+/// `"<env>: <method>"`.
+pub fn run() -> FigureResult {
+    let mut fig = FigureResult::new(
+        "fig22",
+        "Localization errors in three environments over time",
+        "timestamp",
+        "localization error [m]",
+    );
+    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    for (kind, s) in Scenario::all_environments() {
+        let mut gt = Vec::new();
+        let mut iu = Vec::new();
+        let mut stale = Vec::new();
+        for (k, &(_, day)) in TIMESTAMPS.iter().enumerate() {
+            let fresh = FingerprintMatrix::survey(s.testbed(), day, INITIAL_SURVEY_SAMPLES);
+            let rec = s.reconstruct(day);
+            let salt = 3100 + 31 * k as u64;
+            gt.push(mean(&s.localization_errors(&fresh, day, STRIDE, salt)));
+            iu.push(mean(&s.localization_errors(&rec, day, STRIDE, salt)));
+            stale.push(mean(&s.localization_errors(s.prior(), day, STRIDE, salt)));
+        }
+        fig.series.push(Series::from_ys(format!("{kind}: Groundtruth"), &gt));
+        fig.series.push(Series::from_ys(format!("{kind}: iUpdater"), &iu));
+        fig.series
+            .push(Series::from_ys(format!("{kind}: OMP w/o rec."), &stale));
+    }
+    // Per-environment improvement notes (paper: 66.7/57.4/55.1 %).
+    for (kind, _) in Scenario::all_environments() {
+        let iu = fig
+            .series_by_label(&format!("{kind}: iUpdater"))
+            .expect("series")
+            .points
+            .iter()
+            .map(|p| p.1)
+            .sum::<f64>();
+        let stale = fig
+            .series_by_label(&format!("{kind}: OMP w/o rec."))
+            .expect("series")
+            .points
+            .iter()
+            .map(|p| p.1)
+            .sum::<f64>();
+        fig.notes.push(format!(
+            "{kind}: average improvement over the stale matrix {:.1} %",
+            (1.0 - iu / stale) * 100.0
+        ));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iupdater_tracks_ground_truth_and_beats_stale_everywhere() {
+        let fig = run();
+        for kind in ["hall", "office", "library"] {
+            let avg = |method: &str| {
+                let s = fig
+                    .series_by_label(&format!("{kind}: {method}"))
+                    .expect("series");
+                s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64
+            };
+            let gt = avg("Groundtruth");
+            let iu = avg("iUpdater");
+            let stale = avg("OMP w/o rec.");
+            assert!(
+                iu < stale,
+                "{kind}: iUpdater ({iu} m) must beat stale ({stale} m)"
+            );
+            assert!(
+                iu < gt * 2.6,
+                "{kind}: iUpdater ({iu} m) should stay comparable to ground truth ({gt} m)"
+            );
+        }
+    }
+
+    #[test]
+    fn nine_series_five_stamps() {
+        let fig = run();
+        assert_eq!(fig.series.len(), 9);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 5);
+        }
+    }
+}

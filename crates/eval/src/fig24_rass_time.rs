@@ -1,0 +1,67 @@
+//! Fig. 24: average localization error against RASS at the five
+//! timestamps — iUpdater leads RASS w/ rec., which leads RASS w/o rec.,
+//! at every update point.
+
+use crate::report::{FigureResult, Series};
+use crate::scenario::{Scenario, TIMESTAMPS};
+use iupdater_linalg::stats::mean;
+
+/// Grid stride (keeps the 5-timestamp RASS training sweep fast).
+const STRIDE: usize = 2;
+
+/// Regenerates Fig. 24.
+pub fn run() -> FigureResult {
+    let s = Scenario::office();
+    let mut fig = FigureResult::new(
+        "fig24",
+        "Comparison with RASS over time (average error)",
+        "timestamp",
+        "localization error [m]",
+    );
+    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    let mut iu = Vec::new();
+    let mut rass_rec = Vec::new();
+    let mut rass_stale = Vec::new();
+    for (k, &(_, day)) in TIMESTAMPS.iter().enumerate() {
+        let rec = s.reconstruct(day);
+        let salt = 2400 + 41 * k as u64;
+        iu.push(mean(&s.localization_errors(&rec, day, STRIDE, salt)));
+        rass_rec.push(mean(&s.rass_errors(&rec, day, STRIDE, salt)));
+        rass_stale.push(mean(&s.rass_errors(s.prior(), day, STRIDE, salt)));
+    }
+    fig.series.push(Series::from_ys("iUpdater", &iu));
+    fig.series.push(Series::from_ys("RASS w/ rec.", &rass_rec));
+    fig.series.push(Series::from_ys("RASS w/o rec.", &rass_stale));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iupdater_leads_at_every_timestamp_on_average() {
+        let fig = run();
+        let avg = |label: &str| {
+            let s = fig.series_by_label(label).expect("series");
+            s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64
+        };
+        let iu = avg("iUpdater");
+        let rec = avg("RASS w/ rec.");
+        let stale = avg("RASS w/o rec.");
+        assert!(iu < rec, "iUpdater ({iu} m) should lead RASS w/ rec ({rec} m)");
+        assert!(rec < stale, "RASS w/ rec ({rec} m) should lead RASS w/o rec ({stale} m)");
+    }
+
+    #[test]
+    fn three_series_five_points() {
+        let fig = run();
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 5);
+            for p in &s.points {
+                assert!((0.0..6.0).contains(&p.1), "{}: {} m", s.label, p.1);
+            }
+        }
+    }
+}

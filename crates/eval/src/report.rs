@@ -1,0 +1,190 @@
+//! Result containers and formatting for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// One plotted series: a label and `(x, y)` points. For categorical
+/// x-axes (timestamps, methods) the x values are the category indices
+/// and [`FigureResult::x_labels`] names them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `"8 reference locations (iUpdater)"`).
+    pub label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from y values at integer x positions.
+    pub fn from_ys(label: impl Into<String>, ys: &[f64]) -> Self {
+        Series {
+            label: label.into(),
+            points: ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect(),
+        }
+    }
+
+    /// Builds a series from `(x, y)` pairs.
+    pub fn from_points(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The y value at the series' `i`-th point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn y(&self, i: usize) -> f64 {
+        self.points[i].1
+    }
+}
+
+/// A regenerated figure or table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureResult {
+    /// Paper identifier (`"fig14"`, `"table-labor"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Axis descriptions, e.g. `("reconstruction error [dB]", "CDF")`.
+    pub axes: (String, String),
+    /// Optional category names for integer x positions.
+    pub x_labels: Vec<String>,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes (medians, savings, paper-reported values).
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Creates an empty result shell.
+    pub fn new(id: &str, title: &str, x_axis: &str, y_axis: &str) -> Self {
+        FigureResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            axes: (x_axis.to_string(), y_axis.to_string()),
+            x_labels: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Finds a series by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders a markdown report (a table of series values plus notes).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "x: {} | y: {}\n", self.axes.0, self.axes.1);
+        if self.series.is_empty() {
+            let _ = writeln!(out, "(no series)");
+        } else {
+            // Header.
+            let _ = write!(out, "| x |");
+            for s in &self.series {
+                let _ = write!(out, " {} |", s.label);
+            }
+            let _ = writeln!(out);
+            let _ = write!(out, "|---|");
+            for _ in &self.series {
+                let _ = write!(out, "---|");
+            }
+            let _ = writeln!(out);
+            let rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+            for r in 0..rows {
+                let x_desc = self
+                    .x_labels
+                    .get(r)
+                    .cloned()
+                    .or_else(|| {
+                        self.series
+                            .first()
+                            .and_then(|s| s.points.get(r))
+                            .map(|p| format!("{:.3}", p.0))
+                    })
+                    .unwrap_or_else(|| r.to_string());
+                let _ = write!(out, "| {x_desc} |");
+                for s in &self.series {
+                    match s.points.get(r) {
+                        Some(&(_, y)) => {
+                            let _ = write!(out, " {y:.3} |");
+                        }
+                        None => {
+                            let _ = write!(out, " |");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out);
+            for n in &self.notes {
+                let _ = writeln!(out, "- {n}");
+            }
+        }
+        out
+    }
+
+    /// Renders CSV: `series,x,y` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{},{x},{y}", s.label.replace(',', ";"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureResult {
+        let mut f = FigureResult::new("figX", "Test figure", "time", "error");
+        f.series.push(Series::from_ys("a", &[1.0, 2.0]));
+        f.series.push(Series::from_points("b", vec![(0.0, 3.0), (1.0, 4.0)]));
+        f.x_labels = vec!["day 0".into(), "day 1".into()];
+        f.notes.push("median 1.5".into());
+        f
+    }
+
+    #[test]
+    fn markdown_contains_everything() {
+        let md = sample().to_markdown();
+        assert!(md.contains("figX"));
+        assert!(md.contains("| day 0 |"));
+        assert!(md.contains("median 1.5"));
+        assert!(md.contains("| a |") || md.contains(" a |"));
+    }
+
+    #[test]
+    fn csv_row_count() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.starts_with("series,x,y"));
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = Series::from_ys("s", &[5.0, 6.0]);
+        assert_eq!(s.y(1), 6.0);
+        assert_eq!(s.points[1].0, 1.0);
+        let f = sample();
+        assert!(f.series_by_label("a").is_some());
+        assert!(f.series_by_label("zzz").is_none());
+    }
+
+    #[test]
+    fn empty_figure_renders() {
+        let f = FigureResult::new("e", "Empty", "x", "y");
+        assert!(f.to_markdown().contains("(no series)"));
+        assert_eq!(f.to_csv(), "series,x,y\n");
+    }
+}

@@ -1,0 +1,75 @@
+//! "Table L": the labor-cost accounting of Sec. VI-C. The paper has no
+//! numbered tables; these are the headline cost numbers — iUpdater
+//! surveys 8 locations x 5 samples in 55 s, the traditional system 94
+//! locations x 50 samples in 46.9 min, a 97.9 % saving (92.1 % against
+//! a 5-sample traditional survey).
+
+use crate::report::{FigureResult, Series};
+use iupdater_rfsim::labor::LaborModel;
+
+/// Office parameters (the paper reports 94 effective grids).
+pub const OFFICE_LOCATIONS: usize = 94;
+/// iUpdater's reference-location count (the fingerprint rank = M).
+pub const REFERENCE_LOCATIONS: usize = 8;
+
+/// Regenerates the Sec. VI-C labor table.
+pub fn run() -> FigureResult {
+    let labor = LaborModel::default();
+    let iupdater_s = labor.survey_time_s(REFERENCE_LOCATIONS, 5);
+    let trad50_s = labor.survey_time_s(OFFICE_LOCATIONS, 50);
+    let trad5_s = labor.survey_time_s(OFFICE_LOCATIONS, 5);
+
+    let mut fig = FigureResult::new(
+        "table-labor",
+        "Update labor cost (Sec. VI-C)",
+        "survey scheme",
+        "time [s]",
+    );
+    fig.x_labels = vec![
+        "iUpdater (8 loc x 5 samples)".into(),
+        "traditional (94 loc x 50 samples)".into(),
+        "traditional (94 loc x 5 samples)".into(),
+    ];
+    fig.series.push(Series::from_ys(
+        "survey time [s]",
+        &[iupdater_s, trad50_s, trad5_s],
+    ));
+    fig.notes.push(format!(
+        "iUpdater: {iupdater_s:.0} s (paper: 55 s); traditional: {:.1} min (paper: 46.9 min)",
+        trad50_s / 60.0
+    ));
+    fig.notes.push(format!(
+        "saving vs 50-sample traditional: {:.1} % (paper: 97.9 %)",
+        (1.0 - iupdater_s / trad50_s) * 100.0
+    ));
+    fig.notes.push(format!(
+        "saving vs 5-sample traditional: {:.1} % (paper: 92.1 %)",
+        (1.0 - iupdater_s / trad5_s) * 100.0
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_numbers_exactly() {
+        let labor = LaborModel::default();
+        let iu = labor.survey_time_s(REFERENCE_LOCATIONS, 5);
+        let trad = labor.survey_time_s(OFFICE_LOCATIONS, 50);
+        let trad5 = labor.survey_time_s(OFFICE_LOCATIONS, 5);
+        assert!((iu - 55.0).abs() < 1e-9, "iUpdater cost {iu} s");
+        assert!((trad / 60.0 - 46.9).abs() < 0.05, "traditional {trad} s");
+        assert!(((1.0 - iu / trad) - 0.979).abs() < 2e-3, "97.9 % saving");
+        assert!(((1.0 - iu / trad5) - 0.921).abs() < 2e-3, "92.1 % saving");
+    }
+
+    #[test]
+    fn figure_carries_three_schemes() {
+        let fig = run();
+        assert_eq!(fig.series[0].points.len(), 3);
+        assert_eq!(fig.x_labels.len(), 3);
+        assert!(fig.notes.iter().any(|n| n.contains("97.9")));
+    }
+}

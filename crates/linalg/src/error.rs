@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Error type returned by fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Holds the two shapes
+    /// `(rows, cols)` involved and a short description of the operation.
+    ShapeMismatch {
+        /// Operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) so the requested
+    /// factorisation or solve cannot proceed.
+    Singular,
+    /// An iterative algorithm failed to converge within its iteration
+    /// budget. Holds the budget that was exhausted.
+    NonConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was invalid (empty matrix, non-positive tolerance, ...).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NonConvergence { iterations } => {
+                write!(f, "algorithm did not converge within {iterations} iterations")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: left is 2x3, right is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare { shape: (2, 3) };
+        assert_eq!(e.to_string(), "matrix must be square, got 2x3");
+    }
+
+    #[test]
+    fn display_singular_and_convergence() {
+        assert_eq!(LinalgError::Singular.to_string(), "matrix is singular");
+        let e = LinalgError::NonConvergence { iterations: 7 };
+        assert_eq!(e.to_string(), "algorithm did not converge within 7 iterations");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

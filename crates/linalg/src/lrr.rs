@@ -1,0 +1,260 @@
+//! Low-rank representation (LRR) by inexact augmented Lagrange multipliers.
+//!
+//! The paper (Eq. 12, Sec. IV-B) obtains the *inherent correlation matrix*
+//! `Z` between the fingerprint matrix `X` and its MIC vectors `X_MIC` by
+//! solving the LRR problem of Liu, Lin & Yu (ICML 2010):
+//!
+//! ```text
+//! min_{Z,E}  ||Z||_*  +  eps ||E||_{2,1}    s.t.   X = A Z + E
+//! ```
+//!
+//! with `A = X_MIC`. We solve it with the standard inexact-ALM scheme,
+//! introducing an auxiliary `J` with the extra constraint `Z = J`:
+//!
+//! ```text
+//! J    <- SVT_{1/mu}(Z + Y2/mu)
+//! Z    <- (I + AᵀA)⁻¹ ( Aᵀ(X - E) + J + (AᵀY1 - Y2)/mu )
+//! E    <- l21_shrink(X - AZ + Y1/mu, eps/mu)
+//! Y1   <- Y1 + mu (X - AZ - E)
+//! Y2   <- Y2 + mu (Z - J)
+//! mu   <- min(rho * mu, mu_max)
+//! ```
+
+use crate::shrink::{l21_shrink, svt};
+use crate::{LinalgError, Matrix, Result};
+
+/// Options for the inexact-ALM LRR solver.
+#[derive(Debug, Clone)]
+pub struct LrrOptions {
+    /// Weight of the corruption term (`eps` in Eq. 12).
+    pub epsilon: f64,
+    /// Initial penalty parameter `mu`.
+    pub mu: f64,
+    /// Maximum penalty parameter.
+    pub mu_max: f64,
+    /// Penalty growth factor `rho > 1`.
+    pub rho: f64,
+    /// Convergence tolerance on the two constraint residuals
+    /// (relative to `‖X‖_F`).
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for LrrOptions {
+    fn default() -> Self {
+        LrrOptions {
+            epsilon: 2.0,
+            mu: 1e-2,
+            mu_max: 1e8,
+            rho: 1.6,
+            tol: 1e-7,
+            max_iter: 500,
+        }
+    }
+}
+
+/// Solution of the LRR problem.
+#[derive(Debug, Clone)]
+pub struct LrrSolution {
+    /// The low-rank representation coefficients (`A.cols() x X.cols()`).
+    pub z: Matrix,
+    /// The column-sparse corruption estimate (`X.shape()`).
+    pub e: Matrix,
+    /// Number of ALM iterations performed.
+    pub iterations: usize,
+    /// Final combined constraint residual (relative).
+    pub residual: f64,
+}
+
+/// Solves `min ||Z||_* + eps ||E||_{2,1}  s.t.  X = A Z + E` by inexact ALM.
+///
+/// `a` is the dictionary (`m x k`, the MIC vectors in the paper) and `x`
+/// is the data matrix (`m x n`).
+///
+/// # Errors
+///
+/// - [`LinalgError::ShapeMismatch`] if `a.rows() != x.rows()`.
+/// - [`LinalgError::InvalidArgument`] for empty inputs or bad options.
+/// - [`LinalgError::NonConvergence`] if the residual does not fall below
+///   `opts.tol` within `opts.max_iter` iterations.
+pub fn solve_lrr(a: &Matrix, x: &Matrix, opts: &LrrOptions) -> Result<LrrSolution> {
+    if a.is_empty() || x.is_empty() {
+        return Err(LinalgError::InvalidArgument("lrr inputs must be non-empty"));
+    }
+    if a.rows() != x.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "lrr",
+            lhs: a.shape(),
+            rhs: x.shape(),
+        });
+    }
+    if opts.epsilon <= 0.0 || opts.rho <= 1.0 || opts.tol <= 0.0 {
+        return Err(LinalgError::InvalidArgument(
+            "lrr options: epsilon > 0, rho > 1, tol > 0 required",
+        ));
+    }
+
+    let k = a.cols();
+    let n = x.cols();
+    let x_norm = x.frobenius_norm().max(f64::MIN_POSITIVE);
+
+    // Cached factor for the Z update: (I + AᵀA)⁻¹.
+    let mut gram = a.gram();
+    for i in 0..k {
+        gram[(i, i)] += 1.0;
+    }
+    let gram_inv = gram.inverse()?;
+    let at = a.transpose();
+
+    let mut z = Matrix::zeros(k, n);
+    let mut e = Matrix::zeros(x.rows(), n);
+    let mut y1 = Matrix::zeros(x.rows(), n);
+    let mut y2 = Matrix::zeros(k, n);
+    let mut mu = opts.mu;
+
+    for iter in 0..opts.max_iter {
+        // J update: prox of ||.||_* at Z + Y2/mu.
+        let j_arg = &z + &y2.scale(1.0 / mu);
+        let j_mat = svt(&j_arg, 1.0 / mu)?;
+
+        // Z update: least-squares with the cached inverse.
+        let rhs = {
+            let xe = x.checked_sub(&e)?;
+            let t1 = at.matmul(&xe)?;
+            let t2 = at.matmul(&y1)?.scale(1.0 / mu);
+            let t3 = y2.scale(1.0 / mu);
+            &(&(&t1 + &j_mat) + &t2) - &t3
+        };
+        z = gram_inv.matmul(&rhs)?;
+
+        // E update: prox of eps * ||.||_{2,1}.
+        let az = a.matmul(&z)?;
+        let e_arg = &(x - &az) + &y1.scale(1.0 / mu);
+        e = l21_shrink(&e_arg, opts.epsilon / mu);
+
+        // Multiplier updates and residuals.
+        let r1 = &(x - &az) - &e;
+        let r2 = &z - &j_mat;
+        y1 = &y1 + &r1.scale(mu);
+        y2 = &y2 + &r2.scale(mu);
+        mu = (mu * opts.rho).min(opts.mu_max);
+
+        let res = (r1.frobenius_norm() / x_norm).max(r2.frobenius_norm() / x_norm);
+        if res < opts.tol {
+            return Ok(LrrSolution {
+                z,
+                e,
+                iterations: iter + 1,
+                residual: res,
+            });
+        }
+    }
+    Err(LinalgError::NonConvergence {
+        iterations: opts.max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_matrix(m: usize, n: usize, rng: &mut StdRng) -> Matrix {
+        Matrix::from_fn(m, n, |_, _| rng.gen::<f64>() * 2.0 - 1.0)
+    }
+
+    #[test]
+    fn exact_representation_recovered() {
+        // X = A Z0 exactly (no corruption): the solver must satisfy the
+        // constraint X = AZ + E with tiny E.
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_matrix(6, 3, &mut rng);
+        let z0 = random_matrix(3, 10, &mut rng);
+        let x = a.matmul(&z0).unwrap();
+        let sol = solve_lrr(&a, &x, &LrrOptions::default()).unwrap();
+        let recon = a.matmul(&sol.z).unwrap();
+        let err = (&recon - &x).frobenius_norm() / x.frobenius_norm();
+        assert!(err < 1e-4, "relative error {err}");
+        assert!(sol.e.frobenius_norm() / x.frobenius_norm() < 1e-3);
+    }
+
+    #[test]
+    fn corrupted_columns_absorbed_by_e() {
+        // Corrupt two columns heavily; LRR should place the corruption in
+        // E (column-sparse) rather than distorting Z.
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_matrix(8, 3, &mut rng);
+        let z0 = random_matrix(3, 12, &mut rng);
+        let mut x = a.matmul(&z0).unwrap();
+        for i in 0..8 {
+            x[(i, 4)] += 10.0;
+            x[(i, 9)] -= 8.0;
+        }
+        let sol = solve_lrr(&a, &x, &LrrOptions::default()).unwrap();
+        let e_norms = sol.e.col_norms();
+        let corrupted = (e_norms[4] + e_norms[9]) / 2.0;
+        let clean_max = e_norms
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != 4 && *j != 9)
+            .map(|(_, &v)| v)
+            .fold(0.0_f64, f64::max);
+        assert!(
+            corrupted > 5.0 * clean_max.max(1e-9),
+            "corrupted columns should dominate E: {corrupted} vs {clean_max}"
+        );
+    }
+
+    #[test]
+    fn z_has_low_nuclear_norm_structure() {
+        // When X's columns live in a rank-2 subspace of span(A), Z should
+        // be (approximately) rank 2 even if A has 4 columns.
+        let mut rng = StdRng::seed_from_u64(3);
+        let basis = random_matrix(8, 2, &mut rng);
+        let coeffs = random_matrix(2, 15, &mut rng);
+        let x = basis.matmul(&coeffs).unwrap();
+        // A: the basis plus two extra independent columns.
+        let extra = random_matrix(8, 2, &mut rng);
+        let a = basis.hcat(&extra).unwrap();
+        let sol = solve_lrr(&a, &x, &LrrOptions::default()).unwrap();
+        let s = sol.z.singular_values().unwrap();
+        assert!(s[2] < 1e-2 * s[0].max(1e-12), "sigma3 {} vs sigma1 {}", s[2], s[0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::zeros(3, 2);
+        let x = Matrix::zeros(4, 5);
+        assert!(matches!(
+            solve_lrr(&a, &x, &LrrOptions::default()),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let a = Matrix::identity(2);
+        let x = Matrix::identity(2);
+        let bad = LrrOptions {
+            epsilon: 0.0,
+            ..LrrOptions::default()
+        };
+        assert!(solve_lrr(&a, &x, &bad).is_err());
+        let bad_rho = LrrOptions {
+            rho: 1.0,
+            ..LrrOptions::default()
+        };
+        assert!(solve_lrr(&a, &x, &bad_rho).is_err());
+    }
+
+    #[test]
+    fn identity_dictionary_gives_z_close_to_x() {
+        // With A = I and no noise the constraint forces Z + E = X; with a
+        // small epsilon the nuclear term prefers putting signal in Z.
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let sol = solve_lrr(&Matrix::identity(2), &x, &LrrOptions::default()).unwrap();
+        let sum = &sol.z + &sol.e;
+        assert!(sum.approx_eq(&x, 1e-4));
+    }
+}

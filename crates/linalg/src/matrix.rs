@@ -1,0 +1,624 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major, `f64` matrix.
+///
+/// This is the single matrix type used across the whole iUpdater
+/// reproduction. It deliberately stays small and predictable: row-major
+/// `Vec<f64>` storage, panicking `(row, col)` indexing via `Index`, and
+/// fallible shape-checked arithmetic (see [`Matrix::matmul`],
+/// [`Matrix::checked_add`], [`Matrix::hadamard`]).
+///
+/// # Example
+///
+/// ```
+/// use iupdater_linalg::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.shape(), (2, 3));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a generator function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument(
+                "data length must equal rows * cols",
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a column vector (`n x 1`) from a slice.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a row vector (`1 x n`) from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a matrix with entries drawn i.i.d. from `dist`.
+    pub fn random<D: Distribution<f64>, R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        dist: &D,
+        rng: &mut R,
+    ) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| dist.sample(rng)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major backing storage.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the element at `(row, col)`, or `None` if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self.data[i * self.cols + c]).collect()
+    }
+
+    /// Overwrites column `c` with `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds or `values.len() != self.rows()`.
+    pub fn set_col(&mut self, c: usize, values: &[f64]) {
+        assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        assert_eq!(values.len(), self.rows, "column length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self.data[i * self.cols + c] = v;
+        }
+    }
+
+    /// Overwrites row `r` with `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds or `values.len() != self.cols()`.
+    pub fn set_row(&mut self, r: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.cols, "row length mismatch");
+        self.row_mut(r).copy_from_slice(values);
+    }
+
+    /// Returns a new matrix containing the selected columns, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, indices.len());
+        for (k, &c) in indices.iter().enumerate() {
+            assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+            for i in 0..self.rows {
+                m[(i, k)] = self[(i, c)];
+            }
+        }
+        m
+    }
+
+    /// Returns a new matrix containing the selected rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(indices.len(), self.cols);
+        for (k, &r) in indices.iter().enumerate() {
+            m.set_row(k, self.row(r));
+        }
+        m
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f(row, col, value)` to every element, returning a new matrix.
+    pub fn map_indexed(&self, f: impl Fn(usize, usize, f64) -> f64) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| f(i, j, self[(i, j)]))
+    }
+
+    /// Iterates over all elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Mutably iterates over all elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f64> {
+        self.data.iter_mut()
+    }
+
+    /// Maximum absolute element value (0.0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+    }
+
+    /// Minimum element value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty.
+    pub fn min(&self) -> f64 {
+        assert!(!self.is_empty(), "min of empty matrix");
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum element value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty.
+    pub fn max(&self) -> f64 {
+        assert!(!self.is_empty(), "max of empty matrix");
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean of all elements (`NaN` for an empty matrix).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            f64::NAN
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// `true` if every pairwise element difference is within `tol`.
+    ///
+    /// Returns `false` when the shapes differ.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Horizontally concatenates `self` with `other` (`[self | other]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the row counts differ.
+    pub fn hcat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hcat",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut m = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            m.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            m.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        Ok(m)
+    }
+
+    /// Vertically concatenates `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
+    pub fn vcat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vcat",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        const MAX_SHOWN: usize = 8;
+        for i in 0..self.rows.min(MAX_SHOWN) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(MAX_SHOWN) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4}", self[(i, j)])?;
+            }
+            if self.cols > MAX_SHOWN {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > MAX_SHOWN {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 x 0` matrix.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impl {
+    use super::Matrix;
+    use serde::de::Error as _;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct MatrixRepr {
+        rows: usize,
+        cols: usize,
+        data: Vec<f64>,
+    }
+
+    impl Serialize for Matrix {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            MatrixRepr {
+                rows: self.rows(),
+                cols: self.cols(),
+                data: self.as_slice().to_vec(),
+            }
+            .serialize(serializer)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Matrix {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let repr = MatrixRepr::deserialize(deserializer)?;
+            Matrix::from_vec(repr.rows, repr.cols, repr.data)
+                .map_err(|e| D::Error::custom(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.iter().all(|&x| x == 0.0));
+        assert!(!m.is_empty());
+        assert!(Matrix::zeros(0, 0).is_empty());
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(LinalgError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+        assert_eq!(m.get(1, 1), Some(4.0));
+        assert_eq!(m.get(2, 0), None);
+    }
+
+    #[test]
+    fn set_col_and_row() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set_col(1, &[5.0, 6.0]);
+        m.set_row(0, &[7.0, 8.0]);
+        assert_eq!(m.as_slice(), &[7.0, 8.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn select_cols_reorders() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let s = m.select_cols(&[2, 0]);
+        assert_eq!(s.as_slice(), &[3.0, 1.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.as_slice(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn hcat_vcat() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let h = a.hcat(&b).unwrap();
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+        let v = a.vcat(&b).unwrap();
+        assert_eq!(v.shape(), (4, 1));
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(a.hcat(&Matrix::zeros(3, 1)).is_err());
+        assert!(a.vcat(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn min_max_mean() {
+        let m = Matrix::from_rows(&[&[-3.0, 1.0], &[2.0, 4.0]]);
+        assert_eq!(m.min(), -3.0);
+        assert_eq!(m.max(), 4.0);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(m.mean(), 1.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 1.0 + 1e-9);
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&Matrix::zeros(2, 3), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let s = format!("{:?}", Matrix::zeros(0, 0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn map_indexed_passes_indices() {
+        let m = Matrix::zeros(2, 2).map_indexed(|i, j, _| (i + 10 * j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 1.0, 11.0]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Arithmetic on [`Matrix`]: shape-checked fallible operations plus
+//! operator overloads for the infallible cases.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::{LinalgError, Matrix, Result};
+
+impl Matrix {
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn checked_add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn checked_sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Hadamard (element-wise) product, the paper's `B ∘ X` (Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols() != other.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        // i-k-j loop order: the inner loop walks contiguous rows of both
+        // `other` and `out`, which is significantly faster than i-j-k.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self[(i, p)];
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = other.row(p);
+                let out_row = out.row_mut(i);
+                for j in 0..n {
+                    out_row[j] += a * other_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != v.len()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols() != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows())
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Gram matrix `selfᵀ * self` (always `cols x cols`).
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols();
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..self.rows() {
+            let row = self.row(i);
+            for a in 0..n {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                let g_row = g.row_mut(a);
+                for (b, &rb) in row.iter().enumerate() {
+                    g_row[b] += ra * rb;
+                }
+            }
+        }
+        g
+    }
+
+    /// Outer product of two vectors: `a * bᵀ` with shape `a.len() x b.len()`.
+    pub fn outer(a: &[f64], b: &[f64]) -> Matrix {
+        Matrix::from_fn(a.len(), b.len(), |i, j| a[i] * b[j])
+    }
+
+    /// Dot product of two equal-length slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot product length mismatch");
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::checked_add`] to handle
+    /// the mismatch as an error.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.checked_add(rhs).expect("matrix addition shape mismatch")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::checked_sub`] to handle
+    /// the mismatch as an error.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.checked_sub(rhs).expect("matrix subtraction shape mismatch")
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ; use [`Matrix::matmul`] to
+    /// handle the mismatch as an error.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs).expect("matrix product shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_rows(&[&[a, b], &[c, d]])
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let s = &a + &b;
+        assert_eq!(&s - &b, a);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.checked_add(&b).is_err());
+        assert!(a.checked_sub(&b).is_err());
+        assert!(a.hadamard(&b).is_err());
+        assert!(Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, m22(58.0, 64.0, 139.0, 154.0));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(a.matmul(&Matrix::identity(3)).unwrap(), a);
+        assert_eq!(Matrix::identity(3).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = vec![5.0, 6.0];
+        assert_eq!(a.matvec(&v).unwrap(), vec![17.0, 39.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(0.0, 1.0, 2.0, 0.5);
+        assert_eq!(a.hadamard(&b).unwrap(), m22(0.0, 2.0, 6.0, 2.0));
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gram();
+        let expected = a.transpose().matmul(&a).unwrap();
+        assert!(g.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn outer_and_dot() {
+        let o = Matrix::outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(o.shape(), (2, 3));
+        assert_eq!(o[(1, 2)], 10.0);
+        assert_eq!(Matrix::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn scalar_and_neg_operators() {
+        let a = m22(1.0, -2.0, 3.0, -4.0);
+        assert_eq!(&a * 2.0, m22(2.0, -4.0, 6.0, -8.0));
+        assert_eq!(-&a, m22(-1.0, 2.0, -3.0, 4.0));
+    }
+}

@@ -1,0 +1,332 @@
+//! Householder QR and rank-revealing column-pivoted QR.
+//!
+//! Column-pivoted QR is the numerically robust way to find a maximal set
+//! of linearly independent columns — the paper's "maximum independent
+//! column (MIC) vectors" (Sec. IV-B) — on approximately-low-rank noisy
+//! matrices.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Thin QR factorisation `A = Q R` with `Q` of shape `m x k`,
+/// `R` of shape `k x n`, `k = min(m, n)`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal factor (`m x k`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`k x n`).
+    pub r: Matrix,
+}
+
+/// Column-pivoted QR factorisation `A P = Q R`.
+#[derive(Debug, Clone)]
+pub struct PivotedQr {
+    /// Orthonormal factor (`m x k`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`k x n`), columns permuted by `perm`.
+    pub r: Matrix,
+    /// Column permutation: `perm[j]` is the original column index of
+    /// permuted column `j`. The first `rank` entries name the
+    /// most-independent columns, in decreasing pivot magnitude.
+    pub perm: Vec<usize>,
+}
+
+impl Matrix {
+    /// Thin Householder QR factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] for an empty matrix.
+    pub fn qr(&self) -> Result<Qr> {
+        if self.is_empty() {
+            return Err(LinalgError::InvalidArgument("qr of empty matrix"));
+        }
+        let (m, n) = self.shape();
+        let k = m.min(n);
+        let mut r = self.clone();
+        // Q accumulated explicitly (m x m truncated to m x k at the end).
+        let mut q = Matrix::identity(m);
+
+        for col in 0..k {
+            // Householder vector for column `col`, rows col..m.
+            let mut norm_sq = 0.0;
+            for i in col..m {
+                norm_sq += r[(i, col)] * r[(i, col)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm < f64::EPSILON {
+                continue;
+            }
+            let alpha = if r[(col, col)] >= 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; m];
+            v[col] = r[(col, col)] - alpha;
+            for i in (col + 1)..m {
+                v[i] = r[(i, col)];
+            }
+            let v_norm_sq: f64 = v[col..].iter().map(|x| x * x).sum();
+            if v_norm_sq < f64::EPSILON * f64::EPSILON {
+                continue;
+            }
+            // Apply H = I - 2 v vᵀ / (vᵀv) to R (left) and accumulate into Q.
+            for j in col..self.cols() {
+                let mut dot = 0.0;
+                for i in col..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let f = 2.0 * dot / v_norm_sq;
+                for i in col..m {
+                    r[(i, j)] -= f * v[i];
+                }
+            }
+            for j in 0..m {
+                let mut dot = 0.0;
+                for i in col..m {
+                    dot += v[i] * q[(j, i)];
+                }
+                let f = 2.0 * dot / v_norm_sq;
+                for i in col..m {
+                    q[(j, i)] -= f * v[i];
+                }
+            }
+        }
+        // Zero the strictly-lower triangle of R (numerical noise).
+        for i in 1..m.min(self.cols() + 1) {
+            for j in 0..i.min(self.cols()) {
+                r[(i, j)] = 0.0;
+            }
+        }
+        let q_thin = q.select_cols(&(0..k).collect::<Vec<_>>());
+        let r_thin = r.select_rows(&(0..k).collect::<Vec<_>>());
+        Ok(Qr { q: q_thin, r: r_thin })
+    }
+
+    /// Column-pivoted (rank-revealing) QR via modified Gram-Schmidt with
+    /// greedy pivoting on residual column norms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] for an empty matrix.
+    pub fn pivoted_qr(&self) -> Result<PivotedQr> {
+        if self.is_empty() {
+            return Err(LinalgError::InvalidArgument("pivoted_qr of empty matrix"));
+        }
+        let (m, n) = self.shape();
+        let k = m.min(n);
+        let mut work = self.clone(); // columns get orthogonalised in place
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut q = Matrix::zeros(m, k);
+        let mut r = Matrix::zeros(k, n);
+
+        // Residual squared norms of each (permuted) column.
+        let mut res: Vec<f64> = (0..n)
+            .map(|j| (0..m).map(|i| work[(i, j)] * work[(i, j)]).sum())
+            .collect();
+
+        for step in 0..k {
+            // Pivot: column with the largest residual norm.
+            let (pivot, &pivot_norm) = res
+                .iter()
+                .enumerate()
+                .skip(step)
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty residual list");
+            if pivot_norm <= 0.0 {
+                break;
+            }
+            // Swap columns `step` and `pivot` in work, perm, res, and R.
+            if pivot != step {
+                for i in 0..m {
+                    let tmp = work[(i, step)];
+                    work[(i, step)] = work[(i, pivot)];
+                    work[(i, pivot)] = tmp;
+                }
+                perm.swap(step, pivot);
+                res.swap(step, pivot);
+                for i in 0..step {
+                    let tmp = r[(i, step)];
+                    r[(i, step)] = r[(i, pivot)];
+                    r[(i, pivot)] = tmp;
+                }
+            }
+            // Normalise the pivot column -> q_step.
+            let norm = (0..m)
+                .map(|i| work[(i, step)] * work[(i, step)])
+                .sum::<f64>()
+                .sqrt();
+            if norm < f64::EPSILON {
+                break;
+            }
+            for i in 0..m {
+                q[(i, step)] = work[(i, step)] / norm;
+            }
+            r[(step, step)] = norm;
+            // Orthogonalise remaining columns against q_step.
+            for j in (step + 1)..n {
+                let mut dot = 0.0;
+                for i in 0..m {
+                    dot += q[(i, step)] * work[(i, j)];
+                }
+                r[(step, j)] = dot;
+                for i in 0..m {
+                    work[(i, j)] -= dot * q[(i, step)];
+                }
+                res[j] = (res[j] - dot * dot).max(0.0);
+            }
+        }
+        Ok(PivotedQr { q, r, perm })
+    }
+
+    /// Numerical rank: the number of diagonal entries of the pivoted-QR
+    /// `R` factor larger than `tol * |R[0,0]|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] for an empty matrix or a
+    /// non-positive tolerance.
+    pub fn rank(&self, tol: f64) -> Result<usize> {
+        if tol <= 0.0 {
+            return Err(LinalgError::InvalidArgument("rank tolerance must be > 0"));
+        }
+        let qr = self.pivoted_qr()?;
+        let k = qr.r.rows();
+        let r00 = qr.r[(0, 0)].abs();
+        if r00 == 0.0 {
+            return Ok(0);
+        }
+        Ok((0..k).take_while(|&i| qr.r[(i, i)].abs() > tol * r00).count())
+    }
+}
+
+impl PivotedQr {
+    /// The indices of the `count` most linearly independent columns of the
+    /// original matrix, in pivot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > perm.len()`.
+    pub fn leading_columns(&self, count: usize) -> Vec<usize> {
+        assert!(count <= self.perm.len(), "count exceeds column count");
+        self.perm[..count].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(m, n, |_, _| rng.gen::<f64>() * 2.0 - 1.0)
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = random_matrix(6, 4, 1);
+        let qr = a.qr().unwrap();
+        let prod = qr.q.matmul(&qr.r).unwrap();
+        assert!(prod.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn qr_q_has_orthonormal_columns() {
+        let a = random_matrix(5, 5, 2);
+        let qr = a.qr().unwrap();
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(5), 1e-10));
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let a = random_matrix(4, 4, 3);
+        let qr = a.qr().unwrap();
+        for i in 0..4 {
+            for j in 0..i {
+                assert!(qr.r[(i, j)].abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn pivoted_qr_reconstructs_with_permutation() {
+        let a = random_matrix(5, 7, 4);
+        let pqr = a.pivoted_qr().unwrap();
+        let qr_prod = pqr.q.matmul(&pqr.r).unwrap();
+        // qr_prod should equal A with columns permuted by perm.
+        let a_perm = a.select_cols(&pqr.perm);
+        assert!(qr_prod.approx_eq(&a_perm, 1e-10));
+    }
+
+    #[test]
+    fn pivoted_qr_diagonal_decreasing() {
+        let a = random_matrix(6, 6, 5);
+        let pqr = a.pivoted_qr().unwrap();
+        for i in 1..6 {
+            assert!(
+                pqr.r[(i, i)].abs() <= pqr.r[(i - 1, i - 1)].abs() + 1e-10,
+                "pivoted QR diagonal must be non-increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_of_low_rank_matrix() {
+        // rank-2 matrix: outer products.
+        let u1 = [1.0, 2.0, 3.0, 4.0];
+        let u2 = [0.5, -1.0, 2.0, 1.0];
+        let v1 = [1.0, 0.0, 2.0, -1.0, 3.0];
+        let v2 = [2.0, 1.0, 0.0, 1.0, -1.0];
+        let a = &Matrix::outer(&u1, &v1) + &Matrix::outer(&u2, &v2);
+        assert_eq!(a.rank(1e-10).unwrap(), 2);
+    }
+
+    #[test]
+    fn rank_of_identity_and_zero() {
+        assert_eq!(Matrix::identity(4).rank(1e-12).unwrap(), 4);
+        assert_eq!(Matrix::zeros(3, 3).rank(1e-12).unwrap(), 0);
+    }
+
+    #[test]
+    fn leading_columns_identify_independent_set() {
+        // Columns 0 and 2 independent; column 1 = 2 * column 0.
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[1.0, 2.0, 1.0],
+        ]);
+        let pqr = a.pivoted_qr().unwrap();
+        let lead = pqr.leading_columns(2);
+        // The chosen two columns must span the column space: col 1 is
+        // dependent on col 0 so {0 or 1} plus {2}.
+        assert!(lead.contains(&2));
+        assert!(lead.contains(&0) || lead.contains(&1));
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert!(Matrix::zeros(0, 0).qr().is_err());
+        assert!(Matrix::zeros(0, 0).pivoted_qr().is_err());
+    }
+
+    #[test]
+    fn rank_tolerance_validated() {
+        assert!(Matrix::identity(2).rank(0.0).is_err());
+        assert!(Matrix::identity(2).rank(-1.0).is_err());
+    }
+
+    #[test]
+    fn qr_tall_matrix_shapes() {
+        let a = random_matrix(8, 3, 6);
+        let qr = a.qr().unwrap();
+        assert_eq!(qr.q.shape(), (8, 3));
+        assert_eq!(qr.r.shape(), (3, 3));
+    }
+
+    #[test]
+    fn qr_wide_matrix_shapes() {
+        let a = random_matrix(3, 8, 7);
+        let qr = a.qr().unwrap();
+        assert_eq!(qr.q.shape(), (3, 3));
+        assert_eq!(qr.r.shape(), (3, 8));
+        assert!(qr.q.matmul(&qr.r).unwrap().approx_eq(&a, 1e-10));
+    }
+}

@@ -1,0 +1,369 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! Observation 1 of the paper rests on SVD (Eq. 2): the fingerprint matrix
+//! is decomposed as `X = U Σ Vᵀ` and its singular-value energy profile
+//! shows it is *approximately* low rank (Fig. 5). The one-sided Jacobi
+//! method is simple, numerically robust, and plenty fast for the
+//! `8 x 120`-scale matrices this system works with.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Full thin SVD `A = U diag(σ) Vᵀ`.
+///
+/// Produced by [`Matrix::svd`]. `u` is `m x k`, `singular_values` has
+/// length `k`, `v` is `n x k`, with `k = min(m, n)`; singular values are
+/// sorted in decreasing order.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns).
+    pub u: Matrix,
+    /// Singular values, decreasing.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors (columns).
+    pub v: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+impl Matrix {
+    /// Computes the thin SVD by one-sided Jacobi rotations.
+    ///
+    /// For an `m x n` matrix with `m > n` the algorithm runs on the
+    /// transpose and swaps `U`/`V` back, so the iteration always works on
+    /// the fat/square orientation.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::InvalidArgument`] for an empty matrix.
+    /// - [`LinalgError::NonConvergence`] if the rotation sweeps fail to
+    ///   converge (does not occur for finite inputs).
+    pub fn svd(&self) -> Result<Svd> {
+        if self.is_empty() {
+            return Err(LinalgError::InvalidArgument("svd of empty matrix"));
+        }
+        if self.rows() > self.cols() {
+            // Work on the transpose: Aᵀ = U' Σ V'ᵀ  =>  A = V' Σ U'ᵀ.
+            let svd_t = self.transpose().svd()?;
+            return Ok(Svd {
+                u: svd_t.v,
+                singular_values: svd_t.singular_values,
+                v: svd_t.u,
+            });
+        }
+
+        // One-sided Jacobi on Aᵀ (n x m, n >= m ... careful): we rotate
+        // *columns* of a working copy W = Aᵀ? Classic formulation: for
+        // m <= n, run on W = A with rotations applied to ROWS is awkward;
+        // instead operate on C = Aᵀ (cols = m <= rows = n) and rotate its
+        // columns to orthogonality: C = A' with A' = W V, then
+        // Aᵀ = W,  W's columns -> σ_i u_i ... Keep it simple: factor
+        // B = self.transpose() (n x m, n >= m), orthogonalise B's columns:
+        // B V = Q diag(σ)  =>  B = Q diag(σ) Vᵀ  =>  A = Bᵀ = V diag(σ) Qᵀ.
+        let b = self.transpose(); // n x m, n >= m
+        let (n, m) = b.shape();
+        let mut w = b; // columns will converge to σ_i q_i
+        let mut v = Matrix::identity(m); // accumulates rotations
+
+        let eps = f64::EPSILON;
+        let tol = 1e-14_f64;
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            for p in 0..m {
+                for q in (p + 1)..m {
+                    // Compute the 2x2 Gram entries for columns p, q.
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for i in 0..n {
+                        let wp = w[(i, p)];
+                        let wq = w[(i, q)];
+                        alpha += wp * wp;
+                        beta += wq * wq;
+                        gamma += wp * wq;
+                    }
+                    if gamma.abs() <= tol * (alpha * beta).sqrt().max(eps) {
+                        continue;
+                    }
+                    off = off.max(gamma.abs() / (alpha * beta).sqrt().max(eps));
+                    // Jacobi rotation annihilating gamma.
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..n {
+                        let wp = w[(i, p)];
+                        let wq = w[(i, q)];
+                        w[(i, p)] = c * wp - s * wq;
+                        w[(i, q)] = s * wp + c * wq;
+                    }
+                    for i in 0..m {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if off < tol {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // A final orthogonality check: if the residual is tiny we are
+            // fine anyway; otherwise report non-convergence.
+            let mut worst: f64 = 0.0;
+            for p in 0..m {
+                for q in (p + 1)..m {
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for i in 0..n {
+                        alpha += w[(i, p)] * w[(i, p)];
+                        beta += w[(i, q)] * w[(i, q)];
+                        gamma += w[(i, p)] * w[(i, q)];
+                    }
+                    worst = worst.max(gamma.abs() / (alpha * beta).sqrt().max(eps));
+                }
+            }
+            if worst > 1e-8 {
+                return Err(LinalgError::NonConvergence { iterations: MAX_SWEEPS });
+            }
+        }
+
+        // Extract singular values (column norms of W) and normalise.
+        let mut order: Vec<usize> = (0..m).collect();
+        let mut sigmas: Vec<f64> = (0..m)
+            .map(|j| (0..n).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
+            .collect();
+        order.sort_by(|&a, &b| sigmas[b].total_cmp(&sigmas[a]));
+
+        let mut u_mat = Matrix::zeros(self.rows(), m); // = V of B (m x m) reordered -> but A = V_b Σ Qᵀ
+        let mut v_mat = Matrix::zeros(self.cols(), m); // = Q (n x m)
+        let mut s_sorted = Vec::with_capacity(m);
+        for (k, &j) in order.iter().enumerate() {
+            let sigma = sigmas[j];
+            s_sorted.push(sigma);
+            // A = Bᵀ = V_b diag(σ) Qᵀ where B = Q diag(σ) V_bᵀ.
+            // Column j of V (accumulated) is the j-th right-singular vector
+            // of B = left-singular of A. Column j of normalised W is q_j =
+            // right-singular vector of A... wait: B = W_final * V? No:
+            // W = B * V (we applied rotations on the right), and W has
+            // orthogonal columns: W = Q diag(σ). So B = Q diag(σ) Vᵀ.
+            // A = Bᵀ = V diag(σ) Qᵀ: left singular vectors of A are the
+            // columns of V, right singular vectors are the columns of Q.
+            for i in 0..self.rows() {
+                u_mat[(i, k)] = v[(i, j)];
+            }
+            if sigma > eps {
+                for i in 0..self.cols() {
+                    v_mat[(i, k)] = w[(i, j)] / sigma;
+                }
+            }
+        }
+        std::mem::swap(&mut sigmas, &mut s_sorted);
+        Ok(Svd {
+            u: u_mat,
+            singular_values: sigmas,
+            v: v_mat,
+        })
+    }
+
+    /// The singular values only, decreasing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::svd`].
+    pub fn singular_values(&self) -> Result<Vec<f64>> {
+        Ok(self.svd()?.singular_values)
+    }
+
+    /// Best rank-`r` approximation `X̂ = Σ_{i<r} σ_i u_i v_iᵀ` (Sec. IV-A).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::svd`]; additionally
+    /// [`LinalgError::InvalidArgument`] if `r == 0`.
+    pub fn low_rank_approx(&self, r: usize) -> Result<Matrix> {
+        if r == 0 {
+            return Err(LinalgError::InvalidArgument("rank must be >= 1"));
+        }
+        let svd = self.svd()?;
+        let k = r.min(svd.singular_values.len());
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        for t in 0..k {
+            let sigma = svd.singular_values[t];
+            for i in 0..self.rows() {
+                let ui = svd.u[(i, t)] * sigma;
+                for j in 0..self.cols() {
+                    out[(i, j)] += ui * svd.v[(j, t)];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Svd {
+    /// Reconstructs the (thin) product `U diag(σ) Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.singular_values.len();
+        let mut out = Matrix::zeros(self.u.rows(), self.v.rows());
+        for t in 0..k {
+            let sigma = self.singular_values[t];
+            for i in 0..out.rows() {
+                let ui = self.u[(i, t)] * sigma;
+                for j in 0..out.cols() {
+                    out[(i, j)] += ui * self.v[(j, t)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Normalised singular values `σ_i / σ_1` (the y-axis of Fig. 5).
+    /// Returns an empty vector when the matrix was zero.
+    pub fn normalized_singular_values(&self) -> Vec<f64> {
+        match self.singular_values.first() {
+            Some(&s0) if s0 > 0.0 => self.singular_values.iter().map(|&s| s / s0).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Fraction of total singular-value energy captured by the first `r`
+    /// values: `Σ_{i<r} σ_i / Σ_i σ_i`.
+    pub fn energy_fraction(&self, r: usize) -> f64 {
+        let total: f64 = self.singular_values.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.singular_values.iter().take(r).sum::<f64>() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(m, n, |_, _| rng.gen::<f64>() * 2.0 - 1.0)
+    }
+
+    #[test]
+    fn svd_reconstructs_square() {
+        let a = random_matrix(5, 5, 10);
+        let svd = a.svd().unwrap();
+        assert!(svd.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn svd_reconstructs_wide_and_tall() {
+        let wide = random_matrix(4, 9, 11);
+        assert!(wide.svd().unwrap().reconstruct().approx_eq(&wide, 1e-9));
+        let tall = random_matrix(9, 4, 12);
+        assert!(tall.svd().unwrap().reconstruct().approx_eq(&tall, 1e-9));
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = random_matrix(6, 8, 13);
+        let s = a.singular_values().unwrap();
+        assert_eq!(s.len(), 6);
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn svd_of_diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[5.0, 0.0]]);
+        let s = a.singular_values().unwrap();
+        assert!((s[0] - 5.0).abs() < 1e-10);
+        assert!((s[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = random_matrix(5, 7, 14);
+        let svd = a.svd().unwrap();
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        assert!(utu.approx_eq(&Matrix::identity(5), 1e-9));
+        assert!(vtv.approx_eq(&Matrix::identity(5), 1e-9));
+    }
+
+    #[test]
+    fn low_rank_approx_exact_for_low_rank_input() {
+        let a = &Matrix::outer(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0, 7.0])
+            + &Matrix::outer(&[1.0, 0.0, -1.0], &[1.0, -1.0, 1.0, -1.0]);
+        let approx = a.low_rank_approx(2).unwrap();
+        assert!(approx.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn low_rank_approx_is_best_in_frobenius() {
+        // Eckart-Young: error of rank-r approx = sqrt(sum of trailing σ²).
+        let a = random_matrix(6, 6, 15);
+        let svd = a.svd().unwrap();
+        for r in 1..6 {
+            let approx = a.low_rank_approx(r).unwrap();
+            let err = (&a - &approx).frobenius_norm();
+            let expected: f64 = svd.singular_values[r..]
+                .iter()
+                .map(|s| s * s)
+                .sum::<f64>()
+                .sqrt();
+            assert!((err - expected).abs() < 1e-8, "rank {r}: {err} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn frobenius_equals_sigma_norm() {
+        let a = random_matrix(5, 9, 16);
+        let s = a.singular_values().unwrap();
+        let fro_from_sigma = s.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((a.frobenius_norm() - fro_from_sigma).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_fraction_monotone() {
+        let a = random_matrix(6, 10, 17);
+        let svd = a.svd().unwrap();
+        let mut prev = 0.0;
+        for r in 1..=6 {
+            let e = svd.energy_fraction(r);
+            assert!(e >= prev);
+            prev = e;
+        }
+        assert!((svd.energy_fraction(6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_values_start_at_one() {
+        let a = random_matrix(4, 6, 18);
+        let svd = a.svd().unwrap();
+        let ns = svd.normalized_singular_values();
+        assert!((ns[0] - 1.0).abs() < 1e-12);
+        assert!(ns.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+    }
+
+    #[test]
+    fn zero_matrix_svd() {
+        let a = Matrix::zeros(3, 4);
+        let svd = a.svd().unwrap();
+        assert!(svd.singular_values.iter().all(|&s| s == 0.0));
+        assert!(svd.normalized_singular_values().is_empty());
+    }
+
+    #[test]
+    fn rank_one_energy_is_total() {
+        let a = Matrix::outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        let svd = a.svd().unwrap();
+        assert!(svd.energy_fraction(1) > 1.0 - 1e-10);
+    }
+}

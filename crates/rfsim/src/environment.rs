@@ -1,0 +1,207 @@
+//! Deployment environments: the paper's office, library and hall presets
+//! (Sec. VI-A, Figs. 11-13) plus a fully custom constructor.
+
+use crate::drift::DriftModel;
+use crate::multipath::MultipathModel;
+use crate::noise::NoiseModel;
+use crate::pathloss::LogDistanceModel;
+use crate::target::Target;
+
+/// Which of the paper's three experimental environments a preset mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvironmentKind {
+    /// 9 m x 12 m office: desks and cubicles, medium multipath, 8 links,
+    /// 96 grid locations (the paper used 94 = 96 minus 2 furniture cells).
+    Office,
+    /// 8 m x 11 m library: metal shelves, high multipath, 6 links, 72
+    /// grid locations.
+    Library,
+    /// 10 m x 10 m empty hall: low multipath, 8 links, 120 grid
+    /// locations.
+    Hall,
+    /// A custom environment.
+    Custom,
+}
+
+impl std::fmt::Display for EnvironmentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            EnvironmentKind::Office => "office",
+            EnvironmentKind::Library => "library",
+            EnvironmentKind::Hall => "hall",
+            EnvironmentKind::Custom => "custom",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A complete description of a deployment environment: geometry, link
+/// count, grid resolution and all physical model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    /// Which preset (or Custom).
+    pub kind: EnvironmentKind,
+    /// Area width in metres (the direction links run along).
+    pub width_m: f64,
+    /// Area height in metres (the direction links are stacked in).
+    pub height_m: f64,
+    /// Number of parallel links `M`.
+    pub num_links: usize,
+    /// Number of grid locations per link `N/M`.
+    pub locations_per_link: usize,
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Maximum per-link static clutter loss in dB: each link draws a
+    /// uniform extra attenuation in `[0, link_clutter_db]` (furniture,
+    /// shelving, NLoS obstructions differ per link — this is what makes
+    /// real fingerprint rows span tens of dB).
+    pub link_clutter_db: f64,
+    /// Path-loss model.
+    pub pathloss: LogDistanceModel,
+    /// Short-term noise model.
+    pub noise: NoiseModel,
+    /// Long-term drift model.
+    pub drift: DriftModel,
+    /// Multipath field model.
+    pub multipath: MultipathModel,
+    /// The target.
+    pub target: Target,
+}
+
+impl Environment {
+    /// The paper's office: 9 m x 12 m, 8 links, 12 locations per link
+    /// (96 grids; paper reports 94 after furniture masking), medium
+    /// multipath (LoS + NLoS mix).
+    pub fn office() -> Self {
+        Environment {
+            kind: EnvironmentKind::Office,
+            width_m: 9.0,
+            height_m: 12.0,
+            num_links: 8,
+            locations_per_link: 12,
+            tx_power_dbm: 16.0,
+            link_clutter_db: 10.0,
+            pathloss: LogDistanceModel::indoor(3.0),
+            noise: NoiseModel::default(),
+            drift: DriftModel::default(),
+            multipath: MultipathModel::medium(),
+            target: Target::person(),
+        }
+    }
+
+    /// The paper's library: 8 m x 11 m, 6 links, 12 locations per link
+    /// (72 grids), high multipath from metal shelving.
+    pub fn library() -> Self {
+        Environment {
+            kind: EnvironmentKind::Library,
+            width_m: 8.0,
+            height_m: 11.0,
+            num_links: 6,
+            locations_per_link: 12,
+            tx_power_dbm: 16.0,
+            link_clutter_db: 12.0,
+            pathloss: LogDistanceModel::indoor(3.4),
+            noise: NoiseModel {
+                sigma: 1.05,
+                ..NoiseModel::default()
+            },
+            drift: DriftModel::default(),
+            multipath: MultipathModel::high(),
+            target: Target::person(),
+        }
+    }
+
+    /// The paper's hall: 10 m x 10 m, 8 links, 15 locations per link
+    /// (120 grids), low multipath (mostly LoS).
+    pub fn hall() -> Self {
+        Environment {
+            kind: EnvironmentKind::Hall,
+            width_m: 10.0,
+            height_m: 10.0,
+            num_links: 8,
+            locations_per_link: 15,
+            tx_power_dbm: 16.0,
+            link_clutter_db: 3.0,
+            pathloss: LogDistanceModel::indoor(2.4),
+            noise: NoiseModel {
+                sigma: 0.8,
+                ..NoiseModel::default()
+            },
+            drift: DriftModel::default(),
+            multipath: MultipathModel::low(),
+            target: Target::person(),
+        }
+    }
+
+    /// All three paper presets, in low-to-high multipath order.
+    pub fn all_presets() -> Vec<Environment> {
+        vec![
+            Environment::hall(),
+            Environment::office(),
+            Environment::library(),
+        ]
+    }
+
+    /// Total number of grid locations `N`.
+    pub fn num_locations(&self) -> usize {
+        self.num_links * self.locations_per_link
+    }
+
+    /// Grid edge length in metres along the link direction.
+    pub fn grid_step_m(&self) -> f64 {
+        self.width_m / self.locations_per_link as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn office_matches_paper_dimensions() {
+        let e = Environment::office();
+        assert_eq!(e.width_m, 9.0);
+        assert_eq!(e.height_m, 12.0);
+        assert_eq!(e.num_links, 8);
+        assert_eq!(e.num_locations(), 96); // paper: 94 after furniture
+    }
+
+    #[test]
+    fn library_matches_paper_dimensions() {
+        let e = Environment::library();
+        assert_eq!(e.num_links, 6);
+        assert_eq!(e.num_locations(), 72); // exactly the paper's count
+    }
+
+    #[test]
+    fn hall_matches_paper_dimensions() {
+        let e = Environment::hall();
+        assert_eq!(e.num_links, 8);
+        assert_eq!(e.num_locations(), 120); // exactly the paper's count
+    }
+
+    #[test]
+    fn grid_step_close_to_paper() {
+        // Paper: 0.6 m between adjacent locations.
+        for e in Environment::all_presets() {
+            let step = e.grid_step_m();
+            assert!((0.55..0.8).contains(&step), "{}: step {step}", e.kind);
+        }
+    }
+
+    #[test]
+    fn multipath_ordering() {
+        let hall = Environment::hall();
+        let office = Environment::office();
+        let library = Environment::library();
+        assert!(hall.multipath.amp_db < office.multipath.amp_db);
+        assert!(office.multipath.amp_db < library.multipath.amp_db);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(Environment::office().kind.to_string(), "office");
+        assert_eq!(Environment::library().kind.to_string(), "library");
+        assert_eq!(Environment::hall().kind.to_string(), "hall");
+    }
+}

@@ -1,0 +1,57 @@
+//! RF testbed simulator substrate for the iUpdater reproduction.
+//!
+//! The original paper evaluates on a physical Wi-Fi testbed measured over
+//! three months in three rooms. This crate is the synthetic stand-in: a
+//! physics-based radio-signal-strength (RSS) simulator that produces
+//! fingerprint matrices with the same structural properties the iUpdater
+//! algorithm exploits:
+//!
+//! - **Fresnel-zone obstruction** ([`fresnel`], [`target`]): a target on
+//!   a link's direct path causes a large RSS decrease, a target inside
+//!   the first Fresnel zone (FFZ) a small decrease, and a target outside
+//!   the FFZ essentially none (paper Fig. 3/4);
+//! - **short-term variation** ([`noise`]): temporally correlated jitter
+//!   plus interference bursts, ~5 dB peak-to-peak over 100 s (Fig. 1);
+//! - **long-term drift** ([`drift`]): slow environment-level drift of a
+//!   few dB over days to months (Fig. 2), mostly common-mode across a
+//!   link — which is why RSS *differences* stay stable (Obs. 2/3);
+//! - **multipath** ([`multipath`]): per-environment scatterer fields so
+//!   the hall/office/library ordering of Fig. 19 emerges.
+//!
+//! The top-level entry point is [`Testbed`], which synthesises fingerprint
+//! matrices at any day offset and online measurement vectors for
+//! localization experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use iupdater_rfsim::{Environment, Testbed};
+//!
+//! let env = Environment::office();
+//! let testbed = Testbed::new(env, 7);
+//! let fp = testbed.fingerprint_matrix(0.0, 5);
+//! assert_eq!(fp.rows(), testbed.deployment().num_links());
+//! assert_eq!(fp.cols(), testbed.deployment().num_locations());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod deployment;
+pub mod drift;
+pub mod environment;
+pub mod fresnel;
+pub mod geometry;
+pub mod labor;
+pub mod multipath;
+pub mod noise;
+pub mod pathloss;
+pub mod target;
+pub mod trajectory;
+
+pub use collector::Testbed;
+pub use deployment::Deployment;
+pub use environment::{Environment, EnvironmentKind};
+pub use geometry::Point;
+pub use target::Target;

@@ -1,0 +1,191 @@
+//! Short-term RSS variation: temporally correlated jitter, interference
+//! bursts and receiver quantisation (paper Fig. 1: ~5 dB over 100 s).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Short-term noise process parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Stationary standard deviation of the AR(1) jitter, in dB.
+    pub sigma: f64,
+    /// AR(1) coefficient per sample (temporal correlation).
+    pub ar_coeff: f64,
+    /// Probability of an interference burst per sample.
+    pub burst_prob: f64,
+    /// Maximum burst magnitude in dB (bursts are uniform in
+    /// `[-max, -0.5]`, interference lowers RSS).
+    pub burst_max_db: f64,
+    /// RSS quantisation step in dB (COTS NICs report 0.5 or 1 dB steps);
+    /// 0 disables quantisation.
+    pub quantize_db: f64,
+}
+
+impl Default for NoiseModel {
+    /// Calibrated to the paper's Fig. 1: ~5 dB peak-to-peak per 100 s at
+    /// 0.5 s sampling.
+    fn default() -> Self {
+        NoiseModel {
+            sigma: 0.9,
+            ar_coeff: 0.85,
+            burst_prob: 0.03,
+            burst_max_db: 3.0,
+            quantize_db: 0.5,
+        }
+    }
+}
+
+/// A stateful sampler for the short-term noise process.
+#[derive(Debug, Clone)]
+pub struct NoiseProcess {
+    model: NoiseModel,
+    state: f64,
+    rng: StdRng,
+}
+
+impl NoiseProcess {
+    /// Creates a process with the given model and RNG seed.
+    pub fn new(model: NoiseModel, seed: u64) -> Self {
+        NoiseProcess {
+            model,
+            state: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next noise sample in dB (to be *added* to the clean RSS).
+    pub fn next_sample(&mut self) -> f64 {
+        let m = &self.model;
+        // AR(1) with stationary variance sigma^2.
+        let innovation_sigma = m.sigma * (1.0 - m.ar_coeff * m.ar_coeff).sqrt();
+        let gauss = gaussian(&mut self.rng) * innovation_sigma;
+        self.state = m.ar_coeff * self.state + gauss;
+        let mut value = self.state;
+        if m.burst_prob > 0.0 && self.rng.gen::<f64>() < m.burst_prob {
+            value -= 0.5 + self.rng.gen::<f64>() * (m.burst_max_db - 0.5).max(0.0);
+        }
+        value
+    }
+
+    /// Draws a trace of `n` samples.
+    pub fn trace(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_sample()).collect()
+    }
+
+    /// Quantises an RSS reading according to the model's step.
+    pub fn quantize(&self, rss: f64) -> f64 {
+        quantize(rss, self.model.quantize_db)
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &NoiseModel {
+        &self.model
+    }
+}
+
+/// Quantises `rss` to the nearest multiple of `step` (no-op for step 0).
+pub fn quantize(rss: f64, step: f64) -> f64 {
+    if step <= 0.0 {
+        rss
+    } else {
+        (rss / step).round() * step
+    }
+}
+
+/// Standard normal sample via Box-Muller (avoids external distributions).
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_peak_to_peak_close_to_paper() {
+        // Fig. 1: ~5 dB variation over 200 samples (100 s at 0.5 s).
+        let mut p = NoiseProcess::new(NoiseModel::default(), 42);
+        let trace = p.trace(200);
+        let max = trace.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = trace.iter().cloned().fold(f64::INFINITY, f64::min);
+        let pp = max - min;
+        assert!((3.0..9.0).contains(&pp), "peak-to-peak {pp} dB out of range");
+    }
+
+    #[test]
+    fn noise_is_roughly_zero_mean() {
+        let mut p = NoiseProcess::new(
+            NoiseModel {
+                burst_prob: 0.0,
+                ..NoiseModel::default()
+            },
+            7,
+        );
+        let trace = p.trace(20_000);
+        let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn stationary_sigma_matches_model() {
+        let model = NoiseModel {
+            burst_prob: 0.0,
+            ..NoiseModel::default()
+        };
+        let mut p = NoiseProcess::new(model, 11);
+        let trace = p.trace(50_000);
+        let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+        let var = trace.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trace.len() as f64;
+        assert!((var.sqrt() - model.sigma).abs() < 0.1, "sigma {} ", var.sqrt());
+    }
+
+    #[test]
+    fn temporal_correlation_present() {
+        let model = NoiseModel {
+            burst_prob: 0.0,
+            ..NoiseModel::default()
+        };
+        let mut p = NoiseProcess::new(model, 13);
+        let trace = p.trace(50_000);
+        let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+        let var: f64 = trace.iter().map(|x| (x - mean).powi(2)).sum();
+        let cov: f64 = trace
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum();
+        let rho = cov / var;
+        assert!((rho - model.ar_coeff).abs() < 0.05, "rho {rho}");
+    }
+
+    #[test]
+    fn bursts_skew_negative() {
+        let model = NoiseModel {
+            burst_prob: 0.5,
+            burst_max_db: 3.0,
+            ..NoiseModel::default()
+        };
+        let mut p = NoiseProcess::new(model, 5);
+        let trace = p.trace(10_000);
+        let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+        assert!(mean < -0.3, "bursts should pull the mean down, mean {mean}");
+    }
+
+    #[test]
+    fn quantize_steps() {
+        assert_eq!(quantize(-71.26, 0.5), -71.5);
+        assert_eq!(quantize(-71.24, 0.5), -71.0);
+        assert_eq!(quantize(-71.26, 0.0), -71.26);
+        assert_eq!(quantize(-71.4, 1.0), -71.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = NoiseProcess::new(NoiseModel::default(), 99).trace(50);
+        let b = NoiseProcess::new(NoiseModel::default(), 99).trace(50);
+        assert_eq!(a, b);
+        let c = NoiseProcess::new(NoiseModel::default(), 100).trace(50);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,169 @@
+//! The device-free target: a cylindrical absorber standing at a grid
+//! location, and the RSS attenuation it causes on each link.
+
+use crate::fresnel::{first_zone_radius, knife_edge_loss_db, knife_edge_v};
+use crate::geometry::{Point, Segment};
+
+/// A human-like target modelled as an absorbing cylinder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Target {
+    /// Cylinder radius in metres (torso cross-section).
+    pub radius: f64,
+    /// Target height in metres.
+    pub height: f64,
+}
+
+impl Target {
+    /// The paper's experimental target: a 1.72 m person; we use a 0.26 m
+    /// torso radius.
+    pub fn person() -> Self {
+        Target {
+            radius: 0.26,
+            height: 1.72,
+        }
+    }
+
+    /// Attenuation in dB this target causes on `link` when standing at
+    /// `pos`, for wavelength `lambda` (metres).
+    ///
+    /// The cylinder is reduced to a knife edge whose *effective clearance*
+    /// is `radius - distance_to_LoS`: a target centred on the path
+    /// protrudes by its full radius (positive `h`, deep shadow); a target
+    /// whose body only grazes the first Fresnel zone yields a small
+    /// negative `h` (small loss); a target outside the zone entirely
+    /// produces 0 dB.
+    ///
+    /// The returned value is always `>= 0` (an attenuation).
+    pub fn attenuation_db(&self, link: Segment, pos: Point, lambda: f64) -> f64 {
+        let clearance = link.distance_to(pos);
+        let (d1, d2) = link.split_distances(pos);
+        let r1 = first_zone_radius(lambda, d1, d2);
+        // Entirely outside the first Fresnel zone: negligible effect.
+        if clearance - self.radius > r1 {
+            return 0.0;
+        }
+        // Effective knife-edge protrusion past the LoS.
+        let h_eff = self.radius - clearance;
+        let v = knife_edge_v(h_eff, lambda, d1, d2);
+        knife_edge_loss_db(v).max(0.0)
+    }
+
+    /// Classification helper mirroring the paper's Fig. 4 legend.
+    pub fn effect(&self, link: Segment, pos: Point, lambda: f64) -> ObstructionEffect {
+        let clearance = link.distance_to(pos);
+        let (d1, d2) = link.split_distances(pos);
+        let r1 = first_zone_radius(lambda, d1, d2);
+        if clearance <= self.radius {
+            ObstructionEffect::LargeDecrease
+        } else if clearance - self.radius <= r1 {
+            ObstructionEffect::SmallDecrease
+        } else {
+            ObstructionEffect::NoDecrease
+        }
+    }
+}
+
+impl Default for Target {
+    fn default() -> Self {
+        Target::person()
+    }
+}
+
+/// How a target at some location affects a link's RSS (Fig. 4's legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObstructionEffect {
+    /// The target blocks the direct path: large RSS decrease.
+    LargeDecrease,
+    /// The target is inside the first Fresnel zone but off the direct
+    /// path: small RSS decrease.
+    SmallDecrease,
+    /// The target is outside the first Fresnel zone: no measurable
+    /// decrease — these elements can be collected without the target
+    /// being present.
+    NoDecrease,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::{wavelength, WIFI_24_GHZ};
+
+    fn setup() -> (Segment, f64, Target) {
+        (
+            Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0)),
+            wavelength(WIFI_24_GHZ),
+            Target::person(),
+        )
+    }
+
+    #[test]
+    fn blocking_causes_large_loss() {
+        let (link, lambda, t) = setup();
+        let on_path = t.attenuation_db(link, Point::new(5.0, 0.0), lambda);
+        assert!(on_path > 6.0, "on-path attenuation {on_path} dB too small");
+    }
+
+    #[test]
+    fn ffz_grazing_causes_small_loss() {
+        let (link, lambda, t) = setup();
+        // r1 at midpoint ~0.557 m; stand 0.5 m off-path: body edge at
+        // 0.24 m from the LoS, inside the zone but not blocking.
+        let graze = t.attenuation_db(link, Point::new(5.0, 0.5), lambda);
+        let block = t.attenuation_db(link, Point::new(5.0, 0.0), lambda);
+        assert!(graze > 0.0, "grazing should attenuate a little");
+        assert!(graze < block, "grazing {graze} must be below blocking {block}");
+    }
+
+    #[test]
+    fn outside_zone_no_loss() {
+        let (link, lambda, t) = setup();
+        assert_eq!(t.attenuation_db(link, Point::new(5.0, 2.0), lambda), 0.0);
+        assert_eq!(t.attenuation_db(link, Point::new(5.0, -2.0), lambda), 0.0);
+    }
+
+    #[test]
+    fn effect_classification() {
+        let (link, lambda, t) = setup();
+        assert_eq!(
+            t.effect(link, Point::new(5.0, 0.1), lambda),
+            ObstructionEffect::LargeDecrease
+        );
+        assert_eq!(
+            t.effect(link, Point::new(5.0, 0.6), lambda),
+            ObstructionEffect::SmallDecrease
+        );
+        assert_eq!(
+            t.effect(link, Point::new(5.0, 3.0), lambda),
+            ObstructionEffect::NoDecrease
+        );
+    }
+
+    #[test]
+    fn attenuation_larger_near_transceiver_than_midpoint() {
+        // Matches the paper's Sec. IV-C1 observation used to build G.
+        let (link, lambda, t) = setup();
+        let near = t.attenuation_db(link, Point::new(1.2, 0.0), lambda);
+        let mid = t.attenuation_db(link, Point::new(5.0, 0.0), lambda);
+        assert!(near > mid, "near {near} vs mid {mid}");
+    }
+
+    #[test]
+    fn attenuation_symmetric_about_midpoint() {
+        let (link, lambda, t) = setup();
+        let a = t.attenuation_db(link, Point::new(3.0, 0.0), lambda);
+        let b = t.attenuation_db(link, Point::new(7.0, 0.0), lambda);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attenuation_decreases_with_clearance() {
+        let (link, lambda, t) = setup();
+        let mut prev = f64::INFINITY;
+        for k in 0..8 {
+            let y = k as f64 * 0.15;
+            let a = t.attenuation_db(link, Point::new(5.0, y), lambda);
+            assert!(a <= prev + 1e-9, "attenuation should fall as target moves off-path");
+            prev = a;
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Elderly monitoring: the paper's second motivating application — an
+//! older person at home will not wear a tag, and the fingerprint
+//! database must keep itself fresh over months without a surveyor
+//! re-walking the whole flat.
+//!
+//! Simulates a 3-month deployment with periodic low-cost updates at the
+//! paper's timestamps, tracks daily-activity positions, and raises an
+//! inactivity alert when the estimated position stops changing.
+//!
+//! ```text
+//! cargo run --release --example elderly_monitoring
+//! ```
+
+use iupdater::core::metrics::localization_error_m;
+use iupdater::core::prelude::*;
+use iupdater::linalg::stats::mean;
+use iupdater::rfsim::labor::LaborModel;
+use iupdater::rfsim::{Environment, Testbed};
+
+/// A day of typical positions (bed, kitchen, chair, bathroom) expressed
+/// as grid cells of the hall-sized flat.
+fn daily_positions(per: usize) -> Vec<usize> {
+    vec![
+        per / 2,           // bed, link 0
+        2 * per + 2,       // kitchen corner
+        4 * per + per / 2, // armchair, middle of the flat
+        6 * per + per - 2, // bathroom, far side
+        4 * per + per / 2, // armchair again
+        per / 2,           // back to bed
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let testbed = Testbed::new(Environment::hall(), 99);
+    let deployment = testbed.deployment();
+    let per = deployment.locations_per_link();
+    let positions = daily_positions(per);
+
+    let day0 = FingerprintMatrix::survey(&testbed, 0.0, 50);
+    let updater = Updater::new(day0, UpdaterConfig::default())?;
+    let labor = LaborModel::default();
+    let n_refs = updater.reference_locations().len();
+
+    println!("3-month monitoring campaign with periodic low-cost updates\n");
+    let mut total_update_cost_s = 0.0;
+    for &(label, day) in &[
+        ("day 3", 3.0),
+        ("day 15", 15.0),
+        ("day 45", 45.0),
+        ("day 90", 90.0),
+    ] {
+        // Low-cost update: reference cells only.
+        let fresh = updater.update_from_testbed(&testbed, day, 5)?;
+        total_update_cost_s += labor.survey_time_s(n_refs, 5);
+        let localizer = Localizer::new(fresh, LocalizerConfig::default());
+
+        // Track the day's positions; detect inactivity (no movement
+        // between consecutive estimates).
+        let mut errs = Vec::new();
+        let mut still_count = 0usize;
+        let mut last_estimate: Option<usize> = None;
+        for (k, &cell) in positions.iter().enumerate() {
+            let y = testbed.online_measurement(cell, day, day as u64 * 100 + k as u64);
+            let est = localizer.localize(&y)?;
+            errs.push(localization_error_m(deployment, cell, est.grid));
+            if last_estimate == Some(est.grid) {
+                still_count += 1;
+            }
+            last_estimate = Some(est.grid);
+        }
+        let alert = if still_count >= positions.len() - 1 {
+            "ALERT: no movement detected"
+        } else {
+            "activity normal"
+        };
+        println!(
+            "{label:>7}: mean tracking error {:.2} m over {} positions — {alert}",
+            mean(&errs),
+            positions.len()
+        );
+    }
+    let full_cost = labor.survey_time_s(deployment.num_locations(), 50);
+    println!(
+        "\nlabor spent on all four updates: {:.0} s (one traditional resurvey: {:.0} s — {:.1}x more)",
+        total_update_cost_s,
+        full_cost,
+        full_cost / (total_update_cost_s / 4.0)
+    );
+    Ok(())
+}

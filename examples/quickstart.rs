@@ -1,0 +1,54 @@
+//! Quickstart: the whole iUpdater loop in one screen.
+//!
+//! Builds a simulated office deployment, surveys the day-0 fingerprint
+//! database, fast-forwards 45 days, updates the database from a handful
+//! of reference measurements, and localizes a target.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use iupdater::core::metrics::{localization_error_m, mean_reconstruction_error};
+use iupdater::core::prelude::*;
+use iupdater::rfsim::{Environment, Testbed};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A simulated 9 m x 12 m office: 8 Wi-Fi links, 96 grid cells.
+    let testbed = Testbed::new(Environment::office(), 42);
+    let deployment = testbed.deployment();
+    println!(
+        "deployment: {} links x {} locations ({:.2} m grid)",
+        deployment.num_links(),
+        deployment.num_locations(),
+        deployment.grid_step()
+    );
+
+    // 2. Day 0: full site survey (the expensive, one-time step).
+    let day0 = FingerprintMatrix::survey(&testbed, 0.0, 50);
+    let updater = Updater::new(day0, UpdaterConfig::default())?;
+    println!(
+        "reference locations selected by MIC: {:?}",
+        updater.reference_locations()
+    );
+
+    // 3. Day 45: the database is stale. Re-survey ONLY the reference
+    //    locations (plus the free no-target readings) and reconstruct.
+    let reconstructed = updater.update_from_testbed(&testbed, 45.0, 5)?;
+    let truth = testbed.expected_fingerprint_matrix(45.0);
+    println!(
+        "reconstruction error vs ground truth: {:.2} dB (stale: {:.2} dB)",
+        mean_reconstruction_error(reconstructed.matrix(), &truth)?,
+        mean_reconstruction_error(updater.prior().matrix(), &truth)?,
+    );
+
+    // 4. Localize a person standing at grid cell 17.
+    let localizer = Localizer::new(reconstructed, LocalizerConfig::default());
+    let y = testbed.online_measurement(17, 45.0, 7);
+    let estimate = localizer.localize(&y)?;
+    println!(
+        "true cell 17, estimated cell {}, error {:.2} m",
+        estimate.grid,
+        localization_error_m(deployment, 17, estimate.grid)
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Fingerprint update campaign planning: a facilities-operations view.
+//!
+//! A site operator runs device-free localization in three spaces (hall,
+//! office, library) and must decide how often to re-survey and with
+//! which method. This example sweeps update policies over a 3-month
+//! horizon and prints the accuracy-vs-labor trade-off table the paper's
+//! Sec. VI-C argues from.
+//!
+//! ```text
+//! cargo run --release --example update_campaign
+//! ```
+
+use iupdater::baselines::resurvey::FullResurvey;
+use iupdater::core::metrics::mean_reconstruction_error;
+use iupdater::core::prelude::*;
+use iupdater::rfsim::labor::LaborModel;
+use iupdater::rfsim::{Environment, Testbed};
+
+struct PolicyOutcome {
+    name: &'static str,
+    labor_s: f64,
+    error_db: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let labor = LaborModel::default();
+    let checkpoints = [15.0_f64, 45.0, 90.0];
+
+    for env in Environment::all_presets() {
+        let kind = env.kind;
+        let testbed = Testbed::new(env, 1234);
+        let n = testbed.deployment().num_locations();
+        let day0 = FingerprintMatrix::survey(&testbed, 0.0, 50);
+        let updater = Updater::new(day0.clone(), UpdaterConfig::default())?;
+        let n_refs = updater.reference_locations().len();
+
+        let mut outcomes: Vec<PolicyOutcome> = Vec::new();
+
+        // Policy A: never update (free, stale).
+        let mut stale_err = 0.0;
+        for &d in &checkpoints {
+            stale_err += mean_reconstruction_error(
+                day0.matrix(),
+                &testbed.expected_fingerprint_matrix(d),
+            )?;
+        }
+        outcomes.push(PolicyOutcome {
+            name: "never update",
+            labor_s: 0.0,
+            error_db: stale_err / checkpoints.len() as f64,
+        });
+
+        // Policy B: traditional full resurvey at every checkpoint.
+        let trad = FullResurvey::traditional();
+        let mut trad_err = 0.0;
+        for &d in &checkpoints {
+            let fresh = trad.update(&testbed, d);
+            trad_err += mean_reconstruction_error(
+                fresh.matrix(),
+                &testbed.expected_fingerprint_matrix(d),
+            )?;
+        }
+        outcomes.push(PolicyOutcome {
+            name: "full resurvey (50 samples)",
+            labor_s: labor.survey_time_s(n, 50) * checkpoints.len() as f64,
+            error_db: trad_err / checkpoints.len() as f64,
+        });
+
+        // Policy C: iUpdater at every checkpoint.
+        let mut iu_err = 0.0;
+        for &d in &checkpoints {
+            let fresh = updater.update_from_testbed(&testbed, d, 5)?;
+            iu_err += mean_reconstruction_error(
+                fresh.matrix(),
+                &testbed.expected_fingerprint_matrix(d),
+            )?;
+        }
+        outcomes.push(PolicyOutcome {
+            name: "iUpdater (reference cells)",
+            labor_s: labor.survey_time_s(n_refs, 5) * checkpoints.len() as f64,
+            error_db: iu_err / checkpoints.len() as f64,
+        });
+
+        println!("\n== {kind} ({n} locations, {n_refs} reference cells) ==");
+        println!("{:<28} {:>12} {:>14}", "policy", "labor", "mean error");
+        for o in &outcomes {
+            println!(
+                "{:<28} {:>10.1} s {:>11.2} dB",
+                o.name, o.labor_s, o.error_db
+            );
+        }
+        let full = &outcomes[1];
+        let iu = &outcomes[2];
+        println!(
+            "iUpdater saves {:.1} % of the labor at {:+.2} dB accuracy difference",
+            (1.0 - iu.labor_s / full.labor_s) * 100.0,
+            iu.error_db - full.error_db
+        );
+    }
+    Ok(())
+}

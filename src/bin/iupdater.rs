@@ -1,0 +1,108 @@
+//! The `iupdater` command-line tool: survey, update, localize and
+//! inspect fingerprint databases on a simulated deployment. All logic
+//! lives in [`iupdater::cli`]; this binary only parses arguments and
+//! does file I/O.
+
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+use iupdater::cli;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{}", cli::usage());
+        return ExitCode::from(2);
+    };
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in args {
+        if let Some(stripped) = a.strip_prefix("--") {
+            key = Some(stripped.to_string());
+            flags.entry(stripped.to_string()).or_default();
+        } else if let Some(k) = key.take() {
+            flags.insert(k, a);
+        } else {
+            eprintln!("unexpected argument '{a}'");
+            return ExitCode::from(2);
+        }
+    }
+
+    let get = |name: &str| flags.get(name).cloned();
+    let seed: u64 = get("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let day: f64 = get("day").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    let samples: usize = get("samples").and_then(|v| v.parse().ok()).unwrap_or(5);
+
+    let result = match command.as_str() {
+        "survey" => {
+            let Some(env) = get("env") else {
+                eprintln!("survey requires --env");
+                return ExitCode::from(2);
+            };
+            cli::cmd_survey(&env, seed, day, samples).map(|db| print!("{db}"))
+        }
+        "update" => {
+            let (Some(env), Some(prior_path)) = (get("env"), get("prior")) else {
+                eprintln!("update requires --env and --prior");
+                return ExitCode::from(2);
+            };
+            match fs::read_to_string(&prior_path) {
+                Ok(prior) => cli::cmd_update(&env, seed, &prior, day, samples).map(|(db, summary)| {
+                    eprintln!("{summary}");
+                    print!("{db}");
+                }),
+                Err(e) => {
+                    eprintln!("cannot read {prior_path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        "localize" => {
+            let (Some(env), Some(db_path), Some(cell)) = (get("env"), get("db"), get("cell"))
+            else {
+                eprintln!("localize requires --env, --db and --cell");
+                return ExitCode::from(2);
+            };
+            let Ok(cell) = cell.parse::<usize>() else {
+                eprintln!("--cell must be an integer");
+                return ExitCode::from(2);
+            };
+            match fs::read_to_string(&db_path) {
+                Ok(db) => cli::cmd_localize(&env, seed, &db, cell, day).map(|r| print!("{r}")),
+                Err(e) => {
+                    eprintln!("cannot read {db_path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        "info" => {
+            let Some(db_path) = get("db") else {
+                eprintln!("info requires --db");
+                return ExitCode::from(2);
+            };
+            match fs::read_to_string(&db_path) {
+                Ok(db) => cli::cmd_info(&db).map(|r| print!("{r}")),
+                Err(e) => {
+                    eprintln!("cannot read {db_path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", cli::usage());
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n\n{}", cli::usage());
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(1)
+        }
+    }
+}

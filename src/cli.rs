@@ -1,0 +1,223 @@
+//! Implementation of the `iupdater` command-line tool: survey, update,
+//! localize and inspect fingerprint databases on a simulated deployment.
+//! The binary (`src/bin/iupdater.rs`) is a thin argument parser over
+//! these functions, which are unit-tested directly.
+
+use std::fmt::Write as _;
+
+use crate::core::persist;
+use crate::core::prelude::*;
+use crate::rfsim::{Environment, Testbed};
+
+/// CLI-level errors: argument problems or pipeline failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad or missing argument.
+    Usage(String),
+    /// An underlying operation failed.
+    Pipeline(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Pipeline(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses an environment preset by name.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown names.
+pub fn parse_environment(name: &str) -> Result<Environment, CliError> {
+    match name {
+        "office" => Ok(Environment::office()),
+        "library" => Ok(Environment::library()),
+        "hall" => Ok(Environment::hall()),
+        other => Err(CliError::Usage(format!(
+            "unknown environment '{other}' (expected office|library|hall)"
+        ))),
+    }
+}
+
+/// `survey`: full site survey at `day`, serialised to the persistence
+/// format.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on serialisation failure.
+pub fn cmd_survey(env: &str, seed: u64, day: f64, samples: usize) -> Result<String, CliError> {
+    let testbed = Testbed::new(parse_environment(env)?, seed);
+    let fp = FingerprintMatrix::survey(&testbed, day, samples.max(1));
+    let mut buf = Vec::new();
+    persist::write_fingerprint(&fp, &mut buf).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    String::from_utf8(buf).map_err(|e| CliError::Pipeline(e.to_string()))
+}
+
+/// `update`: low-cost iUpdater update of a prior database at `day`.
+/// Returns the reconstructed database in the persistence format plus a
+/// summary line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed input or solver failure.
+pub fn cmd_update(
+    env: &str,
+    seed: u64,
+    prior_text: &str,
+    day: f64,
+    samples: usize,
+) -> Result<(String, String), CliError> {
+    let testbed = Testbed::new(parse_environment(env)?, seed);
+    let prior = persist::read_fingerprint(prior_text.as_bytes())
+        .map_err(|e| CliError::Pipeline(format!("cannot read prior database: {e}")))?;
+    if prior.num_links() != testbed.deployment().num_links() {
+        return Err(CliError::Usage(format!(
+            "database has {} links but environment '{env}' has {}",
+            prior.num_links(),
+            testbed.deployment().num_links()
+        )));
+    }
+    let updater = Updater::new(prior, UpdaterConfig::default())
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let fresh = updater
+        .update_from_testbed(&testbed, day, samples.max(1))
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let mut buf = Vec::new();
+    persist::write_fingerprint(&fresh, &mut buf)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let summary = format!(
+        "updated at day {day} from {} reference locations {:?}",
+        updater.reference_locations().len(),
+        updater.reference_locations()
+    );
+    Ok((
+        String::from_utf8(buf).map_err(|e| CliError::Pipeline(e.to_string()))?,
+        summary,
+    ))
+}
+
+/// `localize`: one online measurement with a target at `cell`, matched
+/// against a serialised database. Returns a human-readable report.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed input or matching failure.
+pub fn cmd_localize(
+    env: &str,
+    seed: u64,
+    db_text: &str,
+    cell: usize,
+    day: f64,
+) -> Result<String, CliError> {
+    let testbed = Testbed::new(parse_environment(env)?, seed);
+    let db = persist::read_fingerprint(db_text.as_bytes())
+        .map_err(|e| CliError::Pipeline(format!("cannot read database: {e}")))?;
+    let d = testbed.deployment();
+    if cell >= d.num_locations() {
+        return Err(CliError::Usage(format!(
+            "cell {cell} out of range (0..{})",
+            d.num_locations()
+        )));
+    }
+    let localizer = Localizer::new(db, LocalizerConfig::default());
+    let y = testbed.online_measurement(cell, day, 0xc11);
+    let est = localizer
+        .localize(&y)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let err = d.location(cell).distance(d.location(est.grid));
+    let mut out = String::new();
+    let _ = writeln!(out, "true cell: {cell} at {:?}", d.location(cell));
+    let _ = writeln!(out, "estimated: {} at {:?}", est.grid, d.location(est.grid));
+    let _ = writeln!(out, "error: {err:.2} m (residual {:.2})", est.residual_sq);
+    Ok(out)
+}
+
+/// `info`: summarises a serialised database.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed input.
+pub fn cmd_info(db_text: &str) -> Result<String, CliError> {
+    let db = persist::read_fingerprint(db_text.as_bytes())
+        .map_err(|e| CliError::Pipeline(format!("cannot read database: {e}")))?;
+    let x = db.matrix();
+    let svd = x.svd().map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fingerprint database: {} links x {} locations ({} per link)",
+        db.num_links(),
+        db.num_locations(),
+        db.locations_per_link()
+    );
+    let _ = writeln!(out, "RSS range: {:.1} .. {:.1} dBm", x.min(), x.max());
+    let _ = writeln!(
+        out,
+        "sigma_1 energy fraction: {:.3} (approximately low rank)",
+        svd.energy_fraction(1)
+    );
+    Ok(out)
+}
+
+/// Top-level usage text for the binary.
+pub fn usage() -> &'static str {
+    "iupdater — device-free localization with low-cost fingerprint updating\n\
+     \n\
+     USAGE:\n\
+       iupdater survey   --env <office|library|hall> [--seed N] [--day D] [--samples S]\n\
+       iupdater update   --env <...> --prior <db file> [--seed N] [--day D] [--samples S]\n\
+       iupdater localize --env <...> --db <db file> --cell J [--seed N] [--day D]\n\
+       iupdater info     --db <db file>\n\
+     \n\
+     `survey` and `update` print the database to stdout (redirect to a file)."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_then_info_roundtrip() {
+        let db = cmd_survey("office", 1, 0.0, 3).unwrap();
+        assert!(db.starts_with("iupdater-fingerprint v1"));
+        let info = cmd_info(&db).unwrap();
+        assert!(info.contains("8 links x 96 locations"));
+        assert!(info.contains("approximately low rank"));
+    }
+
+    #[test]
+    fn survey_update_localize_pipeline() {
+        let db = cmd_survey("library", 5, 0.0, 5).unwrap();
+        let (updated, summary) = cmd_update("library", 5, &db, 45.0, 5).unwrap();
+        assert!(summary.contains("reference locations"));
+        let report = cmd_localize("library", 5, &updated, 30, 45.0).unwrap();
+        assert!(report.contains("estimated:"));
+        assert!(report.contains("error:"));
+    }
+
+    #[test]
+    fn rejects_unknown_environment_and_bad_cell() {
+        assert!(matches!(parse_environment("mall"), Err(CliError::Usage(_))));
+        let db = cmd_survey("hall", 2, 0.0, 2).unwrap();
+        assert!(matches!(
+            cmd_localize("hall", 2, &db, 10_000, 0.0),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_database() {
+        let db = cmd_survey("library", 5, 0.0, 2).unwrap(); // 6 links
+        assert!(matches!(
+            cmd_update("office", 5, &db, 3.0, 2),
+            Err(CliError::Usage(_))
+        ));
+        assert!(cmd_info("garbage").is_err());
+    }
+}

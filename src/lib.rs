@@ -1,0 +1,52 @@
+//! # iupdater
+//!
+//! A from-scratch Rust reproduction of **iUpdater** (Chang, Xiong, Wang,
+//! Chen, Hu, Fang — IEEE ICDCS 2017): low-cost RSS fingerprint updating
+//! for device-free localization.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`core`] — the paper's contribution: the self-augmented RSVD
+//!   fingerprint updater and the OMP localizer;
+//! - [`linalg`] — the dense linear-algebra substrate (SVD, RRQR,
+//!   LRR/ALM, proximal operators) built for it;
+//! - [`rfsim`] — the physics-based RF testbed simulator standing in for
+//!   the paper's three-room, three-month hardware deployment;
+//! - [`baselines`] — RASS (ε-SVR/SMO), KNN, and the traditional full
+//!   resurvey;
+//! - [`eval`] — the experiment harness regenerating every figure and
+//!   table of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iupdater::core::prelude::*;
+//! use iupdater::rfsim::{Environment, Testbed};
+//!
+//! // A simulated office deployment (8 links x 96 grid cells).
+//! let testbed = Testbed::new(Environment::office(), 42);
+//!
+//! // Day 0: build the fingerprint database by a full site survey.
+//! let day0 = FingerprintMatrix::survey(&testbed, 0.0, 50);
+//! let updater = Updater::new(day0, UpdaterConfig::default())?;
+//!
+//! // 45 days later: fresh readings at ~8 reference locations only.
+//! let reconstructed = updater.update_from_testbed(&testbed, 45.0, 5)?;
+//!
+//! // Localize an online measurement against the fresh database.
+//! let localizer = Localizer::new(reconstructed, LocalizerConfig::default());
+//! let y = testbed.online_measurement(17, 45.0, 7);
+//! let estimate = localizer.localize(&y)?;
+//! assert!(estimate.grid < 96);
+//! # Ok::<(), iupdater::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use iupdater_baselines as baselines;
+pub use iupdater_core as core;
+pub use iupdater_eval as eval;
+pub use iupdater_linalg as linalg;
+pub use iupdater_rfsim as rfsim;
