@@ -32,7 +32,11 @@ impl Rass {
     ///
     /// Panics if the deployment's location count differs from the
     /// fingerprint's.
-    pub fn train(fingerprint: &FingerprintMatrix, deployment: &Deployment, params: SvrParams) -> Self {
+    pub fn train(
+        fingerprint: &FingerprintMatrix,
+        deployment: &Deployment,
+        params: SvrParams,
+    ) -> Self {
         assert_eq!(
             deployment.num_locations(),
             fingerprint.num_locations(),
@@ -64,13 +68,20 @@ impl Rass {
     ///
     /// Panics if `y.len()` differs from the trained link count.
     pub fn predict(&self, y: &[f64]) -> Point {
-        assert_eq!(y.len(), self.feature_means.len(), "measurement length mismatch");
+        assert_eq!(
+            y.len(),
+            self.feature_means.len(),
+            "measurement length mismatch"
+        );
         let centered: Vec<f64> = y
             .iter()
             .zip(&self.feature_means)
             .map(|(v, m)| v - m)
             .collect();
-        Point::new(self.model_x.predict(&centered), self.model_y.predict(&centered))
+        Point::new(
+            self.model_x.predict(&centered),
+            self.model_y.predict(&centered),
+        )
     }
 
     /// Localization error in metres against a known true grid location.

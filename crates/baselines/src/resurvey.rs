@@ -88,6 +88,9 @@ mod tests {
     fn paper_cost_figures() {
         let labor = LaborModel::default();
         let trad = FullResurvey::traditional().labor_cost_s(&labor, 94);
-        assert!((trad / 60.0 - 46.9).abs() < 0.1, "traditional cost {trad} s");
+        assert!(
+            (trad / 60.0 - 46.9).abs() < 0.1,
+            "traditional cost {trad} s"
+        );
     }
 }

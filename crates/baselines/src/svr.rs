@@ -65,7 +65,8 @@ impl Default for SvrParams {
 #[derive(Debug, Clone)]
 pub struct SvrModel {
     params: SvrParams,
-    support: Vec<Vec<f64>>,
+    /// Support vectors, one per row.
+    support: Matrix,
     beta: Vec<f64>,
     bias: f64,
 }
@@ -80,15 +81,18 @@ impl SvrModel {
     pub fn train(x: &Matrix, y: &[f64], params: SvrParams) -> Self {
         assert_eq!(x.rows(), y.len(), "sample/label count mismatch");
         assert!(x.rows() > 0, "need at least one sample");
-        assert!(params.c > 0.0 && params.epsilon >= 0.0, "bad SVR parameters");
+        assert!(
+            params.c > 0.0 && params.epsilon >= 0.0,
+            "bad SVR parameters"
+        );
         let n = x.rows();
-        let samples: Vec<Vec<f64>> = (0..n).map(|i| x.row(i).to_vec()).collect();
 
-        // Precompute the kernel matrix (n is small in our experiments).
+        // Precompute the kernel matrix (n is small in our experiments);
+        // samples are read directly as row views of `x`.
         let mut k = Matrix::zeros(n, n);
         for i in 0..n {
             for j in i..n {
-                let v = params.kernel.eval(&samples[i], &samples[j]);
+                let v = params.kernel.eval(x.row(i), x.row(j));
                 k[(i, j)] = v;
                 k[(j, i)] = v;
             }
@@ -167,8 +171,8 @@ impl SvrModel {
                     let new_bias = acc / cnt;
                     let db = new_bias - bias;
                     bias = new_bias;
-                    for t in 0..n {
-                        f[t] += db;
+                    for ft in f.iter_mut().take(n) {
+                        *ft += db;
                     }
                 }
                 changed += 1;
@@ -180,18 +184,19 @@ impl SvrModel {
             }
         }
 
-        // Keep only support vectors.
-        let mut support = Vec::new();
+        // Keep only support vectors (row-selected without re-copying
+        // each sample individually).
+        let mut sv_rows = Vec::new();
         let mut sbeta = Vec::new();
-        for i in 0..n {
-            if beta[i].abs() > 1e-9 {
-                support.push(samples[i].clone());
-                sbeta.push(beta[i]);
+        for (i, &bi) in beta.iter().enumerate().take(n) {
+            if bi.abs() > 1e-9 {
+                sv_rows.push(i);
+                sbeta.push(bi);
             }
         }
         SvrModel {
             params,
-            support,
+            support: x.select_rows(&sv_rows),
             beta: sbeta,
             bias,
         }
@@ -200,15 +205,15 @@ impl SvrModel {
     /// Predicts the target value for a feature vector.
     pub fn predict(&self, x: &[f64]) -> f64 {
         let mut v = self.bias;
-        for (sv, &b) in self.support.iter().zip(&self.beta) {
-            v += b * self.params.kernel.eval(sv, x);
+        for (k, &b) in self.beta.iter().enumerate() {
+            v += b * self.params.kernel.eval(self.support.row(k), x);
         }
         v
     }
 
     /// Number of support vectors retained.
     pub fn num_support_vectors(&self) -> usize {
-        self.support.len()
+        self.support.rows()
     }
 }
 
@@ -226,7 +231,9 @@ mod tests {
         // y = 2 x + 1 on [0, 1].
         let n = 30;
         let x = Matrix::from_fn(n, 1, |i, _| i as f64 / (n - 1) as f64);
-        let y: Vec<f64> = (0..n).map(|i| 2.0 * (i as f64 / (n - 1) as f64) + 1.0).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 * (i as f64 / (n - 1) as f64) + 1.0)
+            .collect();
         let params = SvrParams {
             kernel: Kernel::Linear,
             epsilon: 0.01,
@@ -234,13 +241,9 @@ mod tests {
             ..SvrParams::default()
         };
         let model = SvrModel::train(&x, &y, params);
-        for i in 0..n {
+        for (i, &yi) in y.iter().enumerate().take(n) {
             let pred = model.predict(x.row(i));
-            assert!(
-                (pred - y[i]).abs() < 0.15,
-                "sample {i}: pred {pred} vs {}",
-                y[i]
-            );
+            assert!((pred - yi).abs() < 0.15, "sample {i}: pred {pred} vs {yi}");
         }
     }
 
@@ -250,7 +253,10 @@ mod tests {
         let n = 40;
         let xs: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
         let x = Matrix::from_fn(n, 1, |i, _| xs[i]);
-        let y: Vec<f64> = xs.iter().map(|&v| (2.0 * std::f64::consts::PI * v).sin()).collect();
+        let y: Vec<f64> = xs
+            .iter()
+            .map(|&v| (2.0 * std::f64::consts::PI * v).sin())
+            .collect();
         let params = SvrParams {
             kernel: Kernel::Rbf { gamma: 20.0 },
             epsilon: 0.02,
@@ -260,8 +266,8 @@ mod tests {
         };
         let model = SvrModel::train(&x, &y, params);
         let mut worst: f64 = 0.0;
-        for i in 0..n {
-            worst = worst.max((model.predict(x.row(i)) - y[i]).abs());
+        for (i, &yi) in y.iter().enumerate().take(n) {
+            worst = worst.max((model.predict(x.row(i)) - yi).abs());
         }
         assert!(worst < 0.25, "worst RBF fit error {worst}");
     }
@@ -325,8 +331,8 @@ mod tests {
         };
         let model = SvrModel::train(&x, &y, params);
         let mut worst: f64 = 0.0;
-        for i in 0..n {
-            worst = worst.max((model.predict(x.row(i)) - y[i]).abs());
+        for (i, &yi) in y.iter().enumerate().take(n) {
+            worst = worst.max((model.predict(x.row(i)) - yi).abs());
         }
         assert!(worst < 0.2, "worst 2-D fit error {worst}");
     }

@@ -31,7 +31,9 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig15_reference_sets_time", |b| {
         b.iter(eval::fig15_reference_sets_time::run)
     });
-    group.bench_function("fig16_constraints", |b| b.iter(eval::fig16_constraints::run));
+    group.bench_function("fig16_constraints", |b| {
+        b.iter(eval::fig16_constraints::run)
+    });
     group.bench_function("fig17_variation_robustness", |b| {
         b.iter(eval::fig17_variation_robustness::run)
     });

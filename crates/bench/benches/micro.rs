@@ -35,7 +35,13 @@ fn bench_linalg(c: &mut Criterion) {
     });
     let mic_sel = mic::extract_mic(&x, Default::default(), 0.02).unwrap();
     group.bench_function("lrr_alm_8x96", |b| {
-        b.iter(|| solve_lrr(black_box(&mic_sel.vectors), black_box(&x), &LrrOptions::default()))
+        b.iter(|| {
+            solve_lrr(
+                black_box(&mic_sel.vectors),
+                black_box(&x),
+                &LrrOptions::default(),
+            )
+        })
     });
     group.finish();
 }
@@ -122,7 +128,10 @@ fn bench_extensions(c: &mut Criterion) {
     let big_env = iupdater_eval::ext_scale::scaled_office(4);
     let big = Testbed::new(big_env, 2).fingerprint_matrix(0.0, 1);
     group.bench_function("truncated_svd_32x1536_k8", |b| {
-        b.iter(|| big.truncated_svd(8, &TruncatedSvdOptions::default()).unwrap())
+        b.iter(|| {
+            big.truncated_svd(8, &TruncatedSvdOptions::default())
+                .unwrap()
+        })
     });
     group.bench_function("full_svd_32x1536", |b| b.iter(|| big.svd().unwrap()));
 
@@ -146,12 +155,72 @@ fn bench_extensions(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_solver(c: &mut Criterion) {
+    use iupdater_core::solver::reference::ReferenceSolver;
+    use iupdater_core::solver::{Solver, SolverInputs};
+    use iupdater_core::{correlation, mic};
+
+    // The reconstruction hot path at the paper's office size, isolated
+    // from measurement collection: engine (refactored, phase-split)
+    // vs reference (the original monolith) on identical inputs.
+    let t = Testbed::new(Environment::office(), 1);
+    let day0 = t.fingerprint_matrix(0.0, 20);
+    let per = t.deployment().locations_per_link();
+    let mic_sel = mic::extract_mic(&day0, Default::default(), 0.02).unwrap();
+    let z = correlation::correlation_matrix(
+        &mic_sel.vectors,
+        &day0,
+        correlation::CorrelationMethod::Lrr,
+    )
+    .unwrap();
+    let x_r = t.measure_columns(&mic_sel.locations, 45.0, 5);
+    let p = correlation::predict(&x_r, &z).unwrap();
+    let x_b_full = t.fingerprint_matrix(45.0, 5);
+    let b = iupdater_core::classify::CellClassification::from_testbed(&t).index_matrix();
+    let x_b = b.hadamard(&x_b_full).unwrap();
+    let inputs = SolverInputs {
+        x_b,
+        b,
+        p: Some(p),
+        per,
+        warm_start: Some(day0),
+    };
+    let cfg = UpdaterConfig::default();
+
+    let mut group = c.benchmark_group("solver");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    group.bench_function("engine_exact_8x96", |bch| {
+        let solver = Solver::new(inputs.clone(), cfg.clone()).unwrap();
+        bch.iter(|| black_box(&solver).solve().unwrap())
+    });
+    group.bench_function("reference_exact_8x96", |bch| {
+        let solver = ReferenceSolver::new(inputs.clone(), cfg.clone()).unwrap();
+        bch.iter(|| black_box(&solver).solve().unwrap())
+    });
+    let literal = UpdaterConfig {
+        coupling: CouplingMode::PaperLiteral,
+        ..cfg.clone()
+    };
+    group.bench_function("engine_paper_literal_8x96", |bch| {
+        let solver = Solver::new(inputs.clone(), literal.clone()).unwrap();
+        bch.iter(|| black_box(&solver).solve().unwrap())
+    });
+    group.bench_function("reference_paper_literal_8x96", |bch| {
+        let solver = ReferenceSolver::new(inputs.clone(), literal.clone()).unwrap();
+        bch.iter(|| black_box(&solver).solve().unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_linalg,
     bench_core,
     bench_baselines,
     bench_simulator,
-    bench_extensions
+    bench_extensions,
+    bench_solver
 );
 criterion_main!(benches);

@@ -31,7 +31,11 @@ impl CellClassification {
             .flat_map(|i| (0..cols).map(move |j| (i, j)))
             .map(|(i, j)| testbed.obstruction_effect(i, j))
             .collect();
-        CellClassification { effects, rows, cols }
+        CellClassification {
+            effects,
+            rows,
+            cols,
+        }
     }
 
     /// Builds a classification directly from per-cell effects
@@ -49,7 +53,11 @@ impl CellClassification {
                 got: format!("{}", effects.len()),
             });
         }
-        Ok(CellClassification { effects, rows, cols })
+        Ok(CellClassification {
+            effects,
+            rows,
+            cols,
+        })
     }
 
     /// The effect class of cell `(i, j)`.
@@ -151,10 +159,7 @@ mod tests {
             for j in 0..b.cols() {
                 let v = b[(i, j)];
                 assert!(v == 0.0 || v == 1.0);
-                assert_eq!(
-                    v == 1.0,
-                    c.effect(i, j) == ObstructionEffect::NoDecrease
-                );
+                assert_eq!(v == 1.0, c.effect(i, j) == ObstructionEffect::NoDecrease);
             }
         }
     }

@@ -205,13 +205,34 @@ mod tests {
     #[test]
     fn validation_catches_bad_fields() {
         let bad = [
-            UpdaterConfig { lambda: -1.0, ..UpdaterConfig::default() },
-            UpdaterConfig { weight_fit: 0.0, ..UpdaterConfig::default() },
-            UpdaterConfig { max_iter: 0, ..UpdaterConfig::default() },
-            UpdaterConfig { rank: Some(0), ..UpdaterConfig::default() },
-            UpdaterConfig { rank_tol: 1.5, ..UpdaterConfig::default() },
-            UpdaterConfig { tol: 0.0, ..UpdaterConfig::default() },
-            UpdaterConfig { weight_ref: -0.1, ..UpdaterConfig::default() },
+            UpdaterConfig {
+                lambda: -1.0,
+                ..UpdaterConfig::default()
+            },
+            UpdaterConfig {
+                weight_fit: 0.0,
+                ..UpdaterConfig::default()
+            },
+            UpdaterConfig {
+                max_iter: 0,
+                ..UpdaterConfig::default()
+            },
+            UpdaterConfig {
+                rank: Some(0),
+                ..UpdaterConfig::default()
+            },
+            UpdaterConfig {
+                rank_tol: 1.5,
+                ..UpdaterConfig::default()
+            },
+            UpdaterConfig {
+                tol: 0.0,
+                ..UpdaterConfig::default()
+            },
+            UpdaterConfig {
+                weight_ref: -0.1,
+                ..UpdaterConfig::default()
+            },
         ];
         for (k, c) in bad.iter().enumerate() {
             assert!(c.validate().is_err(), "bad config {k} passed validation");

@@ -33,11 +33,7 @@ pub enum CorrelationMethod {
 ///   function silently falls back to least squares (the paper's
 ///   constraint only needs a usable `Z`, and ALM non-convergence on
 ///   benign data is a budget artefact, not a modelling one).
-pub fn correlation_matrix(
-    x_mic: &Matrix,
-    x: &Matrix,
-    method: CorrelationMethod,
-) -> Result<Matrix> {
+pub fn correlation_matrix(x_mic: &Matrix, x: &Matrix, method: CorrelationMethod) -> Result<Matrix> {
     if x_mic.rows() != x.rows() {
         return Err(CoreError::DimensionMismatch {
             context: "correlation_matrix",
@@ -48,9 +44,7 @@ pub fn correlation_matrix(
     match method {
         CorrelationMethod::Lrr => match solve_lrr(x_mic, x, &LrrOptions::default()) {
             Ok(sol) => Ok(sol.z),
-            Err(iupdater_linalg::LinalgError::NonConvergence { .. }) => {
-                least_squares_z(x_mic, x)
-            }
+            Err(iupdater_linalg::LinalgError::NonConvergence { .. }) => least_squares_z(x_mic, x),
             Err(e) => Err(e.into()),
         },
         CorrelationMethod::LeastSquares => least_squares_z(x_mic, x),
@@ -139,7 +133,7 @@ mod tests {
 
     #[test]
     fn lrr_z_robust_to_corrupted_columns() {
-        let (x, _) = rank_r_matrix(8, 30, 4, 4);
+        let (x, _) = rank_r_matrix(8, 30, 4, 9);
         let mic = crate::mic::extract_mic(&x, Default::default(), 1e-9).unwrap();
         // Corrupt three non-MIC columns of the training matrix.
         let mut x_bad = x.clone();

@@ -38,7 +38,13 @@ pub fn write_back(x: &mut Matrix, xd: &Matrix) -> Result<()> {
     if xd.rows() != x.rows() || x.cols() != x.rows() * per {
         return Err(CoreError::DimensionMismatch {
             context: "decrease::write_back",
-            expected: format!("xd {}x{} vs x {}x{}", x.rows(), x.cols() / x.rows().max(1), x.rows(), x.cols()),
+            expected: format!(
+                "xd {}x{} vs x {}x{}",
+                x.rows(),
+                x.cols() / x.rows().max(1),
+                x.rows(),
+                x.cols()
+            ),
             got: format!("xd {}x{}", xd.rows(), xd.cols()),
         });
     }

@@ -75,7 +75,9 @@ mod tests {
             got: "6 rows".into(),
         };
         assert!(e.to_string().contains("dimension mismatch in update"));
-        assert!(CoreError::InvalidArgument("x").to_string().contains("invalid"));
+        assert!(CoreError::InvalidArgument("x")
+            .to_string()
+            .contains("invalid"));
     }
 
     #[test]

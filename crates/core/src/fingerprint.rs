@@ -29,12 +29,17 @@ impl FingerprintMatrix {
             return Err(CoreError::InvalidArgument("fingerprint matrix is empty"));
         }
         if locations_per_link == 0 {
-            return Err(CoreError::InvalidArgument("locations_per_link must be >= 1"));
+            return Err(CoreError::InvalidArgument(
+                "locations_per_link must be >= 1",
+            ));
         }
         if data.cols() != data.rows() * locations_per_link {
             return Err(CoreError::DimensionMismatch {
                 context: "FingerprintMatrix::new",
-                expected: format!("{} columns (= links x per-link)", data.rows() * locations_per_link),
+                expected: format!(
+                    "{} columns (= links x per-link)",
+                    data.rows() * locations_per_link
+                ),
                 got: format!("{} columns", data.cols()),
             });
         }
@@ -71,7 +76,9 @@ impl FingerprintMatrix {
     pub fn survey_no_decrease(testbed: &Testbed, day: f64, samples: usize) -> Matrix {
         let m = testbed.deployment().num_links();
         let n = testbed.deployment().num_locations();
-        let empty: Vec<f64> = (0..m).map(|i| testbed.measure_empty(i, day, samples)).collect();
+        let empty: Vec<f64> = (0..m)
+            .map(|i| testbed.measure_empty(i, day, samples))
+            .collect();
         Matrix::from_fn(m, n, |i, j| {
             if testbed.obstruction_effect(i, j) == ObstructionEffect::NoDecrease {
                 empty[i]

@@ -23,6 +23,26 @@
 //! Localization matches an online RSS vector against the reconstructed
 //! matrix with orthogonal matching pursuit ([`omp`], [`localize`]).
 //!
+//! # Architecture: solver layers
+//!
+//! The numeric stack is three explicit layers:
+//!
+//! 1. `iupdater_linalg` supplies the zero-copy substrate: borrowed
+//!    matrix views and in-place kernels (`matmul_into`, `axpy`,
+//!    `gram_into`, `add_outer`) that the hot paths run on.
+//! 2. [`solver`] is the reconstruction engine. Each additive term of
+//!    Eq. 18 is a [`solver::terms::PenaltyTerm`] implementation; the
+//!    ALS engine composes them and runs *phase-split* sweeps — the
+//!    per-column/per-row systems are assembled and factored in
+//!    parallel, the Gauss–Seidel cross terms (Exact coupling) keep
+//!    their original sequential order — making parallel solves
+//!    bit-identical to the retired monolith (`solver::reference`,
+//!    kept as the golden-parity oracle; [`self_augmented`] is the
+//!    compatibility alias).
+//! 3. [`service`] batches many deployments behind one API:
+//!    [`service::UpdateService`] runs update cycles across its fleet
+//!    in parallel and owns each deployment's live database.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -64,19 +84,22 @@ pub mod mic;
 pub mod monitor;
 pub mod multi_target;
 pub mod neighbors;
-pub mod persist;
 pub mod omp;
+pub mod persist;
 pub mod reconstruct;
 pub mod rsvd;
 pub mod self_augmented;
+pub mod service;
 pub mod similarity;
+pub mod solver;
 pub mod tracking;
 
 pub use config::{CouplingMode, LocalizerConfig, ScalingMode, UpdaterConfig};
 pub use error::CoreError;
 pub use fingerprint::FingerprintMatrix;
-pub use localize::{LocationEstimate, Localizer};
+pub use localize::{Localizer, LocationEstimate};
 pub use reconstruct::Updater;
+pub use service::{DeploymentId, UpdateOutcome, UpdateService};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -85,7 +108,8 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 pub mod prelude {
     pub use crate::config::{CouplingMode, LocalizerConfig, ScalingMode, UpdaterConfig};
     pub use crate::fingerprint::FingerprintMatrix;
-    pub use crate::localize::{LocationEstimate, Localizer};
+    pub use crate::localize::{Localizer, LocationEstimate};
     pub use crate::reconstruct::Updater;
+    pub use crate::service::{DeploymentId, UpdateOutcome, UpdateService};
     pub use crate::CoreError;
 }

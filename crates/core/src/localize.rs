@@ -143,8 +143,8 @@ impl Localizer {
                 break;
             }
             support.push(j_star);
-            for i in 0..m {
-                residual[i] -= self.dictionary[(i, j_star)];
+            for (i, r) in residual.iter_mut().enumerate().take(m) {
+                *r -= self.dictionary[(i, j_star)];
             }
             let res_sq: f64 = residual.iter().map(|r| r * r).sum();
             if res_sq < self.config.residual_threshold {

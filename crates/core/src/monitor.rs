@@ -166,13 +166,13 @@ mod tests {
         })
         .unwrap();
         assert_eq!(m.status(), Staleness::Calibrating);
-        feed(&mut m, std::iter::repeat(1.0).take(10));
+        feed(&mut m, std::iter::repeat_n(1.0, 10));
         assert_eq!(m.baseline(), Some(1.0));
-        feed(&mut m, std::iter::repeat(1.1).take(10));
+        feed(&mut m, std::iter::repeat_n(1.1, 10));
         assert_eq!(m.status(), Staleness::Fresh);
-        feed(&mut m, std::iter::repeat(1.6).take(10));
+        feed(&mut m, std::iter::repeat_n(1.6, 10));
         assert_eq!(m.status(), Staleness::Degrading);
-        feed(&mut m, std::iter::repeat(2.5).take(10));
+        feed(&mut m, std::iter::repeat_n(2.5, 10));
         assert_eq!(m.status(), Staleness::UpdateRecommended);
         m.recalibrate();
         assert_eq!(m.status(), Staleness::Calibrating);
@@ -186,10 +186,13 @@ mod tests {
             threshold: 2.0,
         })
         .unwrap();
-        feed(&mut m, std::iter::repeat(1.0).take(11));
+        feed(&mut m, std::iter::repeat_n(1.0, 11));
         // Mostly-fresh window with a couple of huge outliers: the median
         // keeps the monitor calm.
-        feed(&mut m, [1.0, 50.0, 1.0, 1.0, 100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        feed(
+            &mut m,
+            [1.0, 50.0, 1.0, 1.0, 100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        );
         assert_eq!(m.status(), Staleness::Fresh);
     }
 

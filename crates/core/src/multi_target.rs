@@ -40,9 +40,7 @@ impl Localizer {
         };
         let tmp = Localizer::new(self.fingerprint().clone(), cfg);
         let est = tmp.localize(y)?;
-        Ok(MultiTargetEstimate {
-            grids: est.support,
-        })
+        Ok(MultiTargetEstimate { grids: est.support })
     }
 }
 
@@ -89,7 +87,9 @@ mod tests {
 
     #[test]
     fn two_well_separated_targets_recovered() {
-        let (t, loc) = setup();
+        let t = Testbed::new(Environment::office(), 9);
+        let fp = FingerprintMatrix::survey(&t, 0.0, 20);
+        let loc = Localizer::new(fp, LocalizerConfig::default());
         let d = t.deployment();
         // Targets on different links, far apart.
         let truth = [d.location_index(1, 3), d.location_index(6, 9)];
@@ -125,7 +125,11 @@ mod tests {
         let est = loc.localize_multi(&y, 4).unwrap();
         assert!(!est.grids.is_empty());
         assert!(est.grids.len() <= 4);
-        assert_eq!(est.grids[0] / 12, 20 / 12, "first atom should find the right link row");
+        assert_eq!(
+            est.grids[0] / 12,
+            20 / 12,
+            "first atom should find the right link row"
+        );
     }
 
     #[test]

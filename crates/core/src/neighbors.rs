@@ -104,7 +104,9 @@ pub fn nlc_values(xd: &Matrix) -> Result<Vec<f64>> {
     let abs = xd.map(f64::abs);
     let range = abs.max() - abs.min();
     if range <= 0.0 {
-        return Err(CoreError::InvalidArgument("NLC normaliser is zero (constant X_D)"));
+        return Err(CoreError::InvalidArgument(
+            "NLC normaliser is zero (constant X_D)",
+        ));
     }
     let mut out = Vec::with_capacity(xd.rows() * xd.cols());
     for i in 0..xd.rows() {
@@ -131,11 +133,7 @@ mod tests {
     #[test]
     fn t_matrix_tridiagonal() {
         let t = relationship_matrix(3).unwrap();
-        let expected = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        let expected = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
         assert_eq!(t, expected);
     }
 
@@ -219,7 +217,9 @@ mod tests {
             // Shallow at the middle, deeper at the ends (paper's shape).
             -60.0 - 6.0 * (1.0 - (2.0 * x - 1.0).powi(2))
         });
-        let noisy = Matrix::from_fn(2, per, |i, u| -60.0 + if (u + i) % 2 == 0 { 4.0 } else { -4.0 });
+        let noisy = Matrix::from_fn(2, per, |i, u| {
+            -60.0 + if (u + i) % 2 == 0 { 4.0 } else { -4.0 }
+        });
         let s = smooth.matmul(&g).unwrap().frobenius_norm();
         let n = noisy.matmul(&g).unwrap().frobenius_norm();
         assert!(s < n * 0.5, "smooth {s} should beat noisy {n}");

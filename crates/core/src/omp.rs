@@ -124,7 +124,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let d = Matrix::from_fn(10, 20, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
         // y = 3 * col4 - 2 * col11.
-        let y: Vec<f64> = (0..10).map(|i| 3.0 * d[(i, 4)] - 2.0 * d[(i, 11)]).collect();
+        let y: Vec<f64> = (0..10)
+            .map(|i| 3.0 * d[(i, 4)] - 2.0 * d[(i, 11)])
+            .collect();
         let sol = orthogonal_matching_pursuit(&d, &y, 2, 1e-10).unwrap();
         let mut s = sol.support.clone();
         s.sort_unstable();

@@ -77,8 +77,7 @@ pub fn read_fingerprint<R: BufRead>(r: R) -> Result<FingerprintMatrix> {
         if parts.next() != Some("row") {
             return Err(bad("expected a `row` line"));
         }
-        let values: std::result::Result<Vec<f64>, _> =
-            parts.map(str::parse::<f64>).collect();
+        let values: std::result::Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
         let values = values.map_err(|_| bad("non-numeric RSS value"))?;
         if values.len() != n {
             return Err(bad("row length does not match links * per_link"));
@@ -89,10 +88,7 @@ pub fn read_fingerprint<R: BufRead>(r: R) -> Result<FingerprintMatrix> {
     FingerprintMatrix::new(matrix, per)
 }
 
-fn parse_field(
-    lines: &mut std::io::Lines<impl BufRead>,
-    name: &'static str,
-) -> Result<usize> {
+fn parse_field(lines: &mut std::io::Lines<impl BufRead>, name: &'static str) -> Result<usize> {
     let bad = |msg: &'static str| CoreError::InvalidArgument(msg);
     let line = lines
         .next()
@@ -146,18 +142,16 @@ mod tests {
     fn rejects_malformed_inputs() {
         assert!(read_fingerprint("".as_bytes()).is_err());
         assert!(read_fingerprint("wrong header\n".as_bytes()).is_err());
-        assert!(read_fingerprint(
-            "iupdater-fingerprint v1\nlinks 2\nper_link x\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_fingerprint("iupdater-fingerprint v1\nlinks 2\nper_link x\n".as_bytes()).is_err()
+        );
         assert!(read_fingerprint(
             "iupdater-fingerprint v1\nlinks 2\nper_link 2\nrow 1 2 3 4\nrow 1 2 3\n".as_bytes()
         )
         .is_err());
-        assert!(read_fingerprint(
-            "iupdater-fingerprint v1\nlinks 0\nper_link 2\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_fingerprint("iupdater-fingerprint v1\nlinks 0\nper_link 2\n".as_bytes()).is_err()
+        );
         assert!(read_fingerprint(
             "iupdater-fingerprint v1\nlinks 1\nper_link 2\nnotrow 1 2\n".as_bytes()
         )

@@ -36,7 +36,12 @@ impl Updater {
     ///
     /// Propagates config validation, MIC extraction and LRR errors.
     pub fn new(prior: FingerprintMatrix, config: UpdaterConfig) -> Result<Self> {
-        Self::with_methods(prior, config, MicMethod::default(), CorrelationMethod::default())
+        Self::with_methods(
+            prior,
+            config,
+            MicMethod::default(),
+            CorrelationMethod::default(),
+        )
     }
 
     /// [`Updater::new`] with explicit MIC and correlation methods.
@@ -221,7 +226,10 @@ mod tests {
             err_recon < err_stale * 0.7,
             "reconstruction ({err_recon} dB) must beat the stale matrix ({err_stale} dB)"
         );
-        assert!(err_recon < 3.5, "absolute reconstruction error {err_recon} dB");
+        assert!(
+            err_recon < 3.5,
+            "absolute reconstruction error {err_recon} dB"
+        );
     }
 
     #[test]
@@ -278,7 +286,10 @@ mod tests {
     #[test]
     fn accessors() {
         let (_, updater) = setup(27);
-        assert_eq!(updater.correlation().rows(), updater.reference_locations().len());
+        assert_eq!(
+            updater.correlation().rows(),
+            updater.reference_locations().len()
+        );
         assert_eq!(updater.correlation().cols(), 96);
         assert_eq!(updater.prior().num_links(), 8);
         assert!(updater.config().use_constraint1);

@@ -58,13 +58,7 @@ mod tests {
 
     /// Builds a random rank-r "fingerprint-like" matrix (negative dBm
     /// values) and a random observation mask.
-    fn problem(
-        m: usize,
-        n: usize,
-        r: usize,
-        keep: f64,
-        seed: u64,
-    ) -> (Matrix, Matrix, Matrix) {
+    fn problem(m: usize, n: usize, r: usize, keep: f64, seed: u64) -> (Matrix, Matrix, Matrix) {
         let mut rng = StdRng::seed_from_u64(seed);
         let l = Matrix::from_fn(m, r, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
         let rt = Matrix::from_fn(r, n, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
@@ -141,7 +135,7 @@ mod tests {
         // should recover the unknown entries well (the premise of Obs 1).
         // Note the -65 dBm offset adds a rank-1 component, so the data
         // rank is r + 1 = 4.
-        let (x, b, xb) = problem(8, 40, 3, 0.85, 4);
+        let (x, b, xb) = problem(8, 40, 3, 0.85, 5);
         let cfg = UpdaterConfig {
             rank: Some(4),
             lambda: 1e-7,

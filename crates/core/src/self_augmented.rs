@@ -1,921 +1,6 @@
-//! The self-augmented RSVD solver — Algorithm 1 of the paper (Sec. IV-D/E).
-//!
-//! Minimises the full objective (Eq. 18):
-//!
-//! ```text
-//!   λ(‖L‖² + ‖R‖²)                      (regularised rank surrogate)
-//! + w_fit ‖B ∘ (L Rᵀ) − X_B‖²           (no-decrease data fit)
-//! + w_ref ‖L Rᵀ − X_R Z‖²               (constraint 1: MIC correlation)
-//! + w_g   ‖X_D G‖²                      (constraint 2a: continuity)
-//! + w_h   ‖H X_D‖²                      (constraint 2b: link similarity)
-//! ```
-//!
-//! by alternating closed-form per-column updates of `R` and per-row
-//! updates of `L` (the paper's `MyInverse`). Every fingerprint column
-//! `j` belongs to exactly one largely-decrease cell `X_D(ii, jj)` with
-//! `ii = j / (N/M)`, `jj = j mod (N/M)` (Def. 2), so constraint 2
-//! contributes one rank-one quadratic term plus (in
-//! [`CouplingMode::Exact`]) a linear cross term per column.
-//!
-//! The paper's Algorithm 1 drops the cross terms (`C4 = C5 = O`); that
-//! behaviour is available as [`CouplingMode::PaperLiteral`] and compared
-//! in the `ablation_coupling` bench.
+//! Backwards-compatibility shim: the self-augmented RSVD solver now
+//! lives in the layered [`crate::solver`] module tree ([`crate::solver::terms`]
+//! for the penalty terms, `solver::engine` for the parallel ALS
+//! engine). This alias keeps historical import paths working.
 
-use iupdater_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use crate::config::{CouplingMode, ScalingMode, UpdaterConfig};
-use crate::neighbors::continuity_matrix;
-use crate::similarity::similarity_matrix;
-use crate::{CoreError, Result};
-
-/// Inputs to the solver, all shaped `M x N` unless noted.
-#[derive(Debug, Clone)]
-pub struct SolverInputs {
-    /// Known no-decrease values (zeros elsewhere), Eq. (8)'s `X_B`.
-    pub x_b: Matrix,
-    /// Binary mask: 1 = known cell.
-    pub b: Matrix,
-    /// Constraint-1 target `P = X_R Z`, or `None` to disable.
-    pub p: Option<Matrix>,
-    /// Locations per link `N/M`.
-    pub per: usize,
-    /// Optional warm start for `X̂` (e.g. the stale fingerprint matrix);
-    /// its rank-`r` SVD factors initialise `L`/`R` instead of the random
-    /// `L0` of Algorithm 1 line 1.
-    pub warm_start: Option<Matrix>,
-}
-
-/// The solver state and configuration.
-#[derive(Debug)]
-pub struct Solver {
-    inputs: SolverInputs,
-    cfg: UpdaterConfig,
-    g: Option<Matrix>,
-    h: Option<Matrix>,
-    rank: usize,
-}
-
-/// The outcome of a solve: factors, reconstruction and diagnostics.
-#[derive(Debug, Clone)]
-pub struct SolveReport {
-    l: Matrix,
-    r: Matrix,
-    objective_trace: Vec<f64>,
-    iterations: usize,
-    weights: TermWeights,
-}
-
-/// The effective (post-scaling) weights used for each objective term.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TermWeights {
-    /// Data-fit weight.
-    pub fit: f64,
-    /// Constraint-1 weight (0 when disabled).
-    pub reference: f64,
-    /// Continuity weight (0 when disabled).
-    pub continuity: f64,
-    /// Similarity weight (0 when disabled).
-    pub similarity: f64,
-}
-
-impl SolveReport {
-    /// The reconstructed fingerprint matrix `X̂ = L Rᵀ` (Algorithm 1
-    /// line 10).
-    pub fn reconstruction(&self) -> Matrix {
-        self.l
-            .matmul(&self.r.transpose())
-            .expect("factor shapes are internally consistent")
-    }
-
-    /// The left factor `L` (`M x r`).
-    pub fn l_factor(&self) -> &Matrix {
-        &self.l
-    }
-
-    /// The right factor `R` (`N x r`).
-    pub fn r_factor(&self) -> &Matrix {
-        &self.r
-    }
-
-    /// Objective value after each iteration.
-    pub fn objective_trace(&self) -> &[f64] {
-        &self.objective_trace
-    }
-
-    /// Iterations actually performed.
-    pub fn iterations(&self) -> usize {
-        self.iterations
-    }
-
-    /// The effective term weights after auto-scaling.
-    pub fn weights(&self) -> TermWeights {
-        self.weights
-    }
-}
-
-impl Solver {
-    /// Validates inputs and builds a solver.
-    ///
-    /// # Errors
-    ///
-    /// - [`CoreError::InvalidArgument`] for invalid config or `per`.
-    /// - [`CoreError::DimensionMismatch`] for inconsistent shapes.
-    pub fn new(inputs: SolverInputs, cfg: UpdaterConfig) -> Result<Self> {
-        cfg.validate().map_err(CoreError::InvalidArgument)?;
-        let (m, n) = inputs.x_b.shape();
-        if m == 0 || n == 0 {
-            return Err(CoreError::InvalidArgument("empty problem"));
-        }
-        if inputs.b.shape() != (m, n) {
-            return Err(CoreError::DimensionMismatch {
-                context: "Solver::new (mask)",
-                expected: format!("{m}x{n}"),
-                got: format!("{}x{}", inputs.b.rows(), inputs.b.cols()),
-            });
-        }
-        if inputs.per == 0 || m * inputs.per != n {
-            return Err(CoreError::DimensionMismatch {
-                context: "Solver::new (per)",
-                expected: format!("N = M * per = {m} * {}", inputs.per),
-                got: format!("N = {n}"),
-            });
-        }
-        if let Some(p) = &inputs.p {
-            if p.shape() != (m, n) {
-                return Err(CoreError::DimensionMismatch {
-                    context: "Solver::new (P)",
-                    expected: format!("{m}x{n}"),
-                    got: format!("{}x{}", p.rows(), p.cols()),
-                });
-            }
-        }
-        if let Some(w) = &inputs.warm_start {
-            if w.shape() != (m, n) {
-                return Err(CoreError::DimensionMismatch {
-                    context: "Solver::new (warm start)",
-                    expected: format!("{m}x{n}"),
-                    got: format!("{}x{}", w.rows(), w.cols()),
-                });
-            }
-        }
-        let rank = cfg.rank.unwrap_or(m).min(m).min(n).max(1);
-        let (g, h) = if cfg.use_constraint2 {
-            (
-                Some(continuity_matrix(inputs.per)?),
-                Some(similarity_matrix(m)?),
-            )
-        } else {
-            (None, None)
-        };
-        Ok(Solver {
-            inputs,
-            cfg,
-            g,
-            h,
-            rank,
-        })
-    }
-
-    /// Runs Algorithm 1 to convergence or the iteration budget.
-    ///
-    /// # Errors
-    ///
-    /// Propagates linear-solver failures (singular normal equations can
-    /// only arise from degenerate inputs such as an all-zero mask row
-    /// with λ = 0).
-    pub fn solve(&self) -> Result<SolveReport> {
-        let (m, n) = self.inputs.x_b.shape();
-        let r = self.rank;
-
-        // --- Initialisation (Algorithm 1 line 1) -----------------------
-        let (mut l, mut rm) = match &self.inputs.warm_start {
-            Some(x0) => {
-                let svd = x0.svd()?;
-                let mut l = Matrix::zeros(m, r);
-                let mut rr = Matrix::zeros(n, r);
-                for t in 0..r.min(svd.singular_values.len()) {
-                    let s = svd.singular_values[t].sqrt();
-                    for i in 0..m {
-                        l[(i, t)] = svd.u[(i, t)] * s;
-                    }
-                    for j in 0..n {
-                        rr[(j, t)] = svd.v[(j, t)] * s;
-                    }
-                }
-                (l, rr)
-            }
-            None => {
-                let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-                // Random L0; scale so L Rᵀ can reach dBm magnitudes fast.
-                let scale = (self.inputs.x_b.max_abs().max(1.0) / r as f64).sqrt();
-                let l = Matrix::from_fn(m, r, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale);
-                let rm = Matrix::from_fn(n, r, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale);
-                (l, rm)
-            }
-        };
-
-        // --- Term weights (the paper's magnitude scaling) ---------------
-        let weights = self.effective_weights(&l, &rm)?;
-
-        // --- Alternating minimisation -----------------------------------
-        let mut trace = Vec::with_capacity(self.cfg.max_iter + 1);
-        trace.push(self.objective(&l, &rm, &weights)?);
-        let mut iterations = 0;
-        for _ in 0..self.cfg.max_iter {
-            self.update_columns(&l, &mut rm, &weights)?;
-            self.update_rows(&mut l, &rm, &weights)?;
-            iterations += 1;
-            let v = self.objective(&l, &rm, &weights)?;
-            let prev = *trace.last().expect("trace non-empty");
-            trace.push(v);
-            // Stop on relative stagnation (plays the role of v_th).
-            if (prev - v).abs() <= self.cfg.tol * prev.abs().max(1e-12) {
-                break;
-            }
-        }
-        Ok(SolveReport {
-            l,
-            r: rm,
-            objective_trace: trace,
-            iterations,
-            weights,
-        })
-    }
-
-    /// Computes effective weights: `Fixed` passes the config through,
-    /// `Auto` additionally balances each constraint against the data-fit
-    /// magnitude at the initial point.
-    fn effective_weights(&self, l: &Matrix, rm: &Matrix) -> Result<TermWeights> {
-        let cfg = &self.cfg;
-        let base = TermWeights {
-            fit: cfg.weight_fit,
-            reference: if cfg.use_constraint1 && self.inputs.p.is_some() {
-                cfg.weight_ref
-            } else {
-                0.0
-            },
-            continuity: if cfg.use_constraint2 {
-                cfg.weight_continuity
-            } else {
-                0.0
-            },
-            similarity: if cfg.use_constraint2 {
-                cfg.weight_similarity
-            } else {
-                0.0
-            },
-        };
-        if cfg.scaling == ScalingMode::Fixed {
-            return Ok(base);
-        }
-        // Auto: express each term per element and scale to the data-fit
-        // per-element magnitude at the initial point.
-        let xhat = l.matmul(&rm.transpose())?;
-        let fit_resid = self.inputs.b.hadamard(&xhat)?.checked_sub(&self.inputs.x_b)?;
-        let known = self.inputs.b.iter().filter(|&&v| v != 0.0).count().max(1);
-        let fit_mag = (fit_resid.frobenius_norm_sq() / known as f64).max(1e-9);
-
-        let scale_for = |value: f64, count: usize| -> f64 {
-            let per_elem = (value / count.max(1) as f64).max(1e-12);
-            (fit_mag / per_elem).clamp(0.05, 20.0)
-        };
-
-        let mut w = base;
-        if w.reference > 0.0 {
-            if let Some(p) = &self.inputs.p {
-                let resid = xhat.checked_sub(p)?;
-                w.reference *= scale_for(resid.frobenius_norm_sq(), p.rows() * p.cols());
-            }
-        }
-        if w.continuity > 0.0 || w.similarity > 0.0 {
-            let xd = crate::decrease::extract(&xhat, self.inputs.per)?;
-            if let (Some(g), w_g) = (&self.g, w.continuity) {
-                if w_g > 0.0 {
-                    let v = xd.matmul(g)?.frobenius_norm_sq();
-                    w.continuity *= scale_for(v, xd.rows() * xd.cols());
-                }
-            }
-            if let (Some(h), w_h) = (&self.h, w.similarity) {
-                if w_h > 0.0 {
-                    let v = h.matmul(&xd)?.frobenius_norm_sq();
-                    w.similarity *= scale_for(v, xd.rows() * xd.cols());
-                }
-            }
-        }
-        Ok(w)
-    }
-
-    /// The full objective (Eq. 18) at `(L, R)` under `w`.
-    fn objective(&self, l: &Matrix, rm: &Matrix, w: &TermWeights) -> Result<f64> {
-        let xhat = l.matmul(&rm.transpose())?;
-        let mut v = self.cfg.lambda * (l.frobenius_norm_sq() + rm.frobenius_norm_sq());
-        let fit = self.inputs.b.hadamard(&xhat)?.checked_sub(&self.inputs.x_b)?;
-        v += w.fit * fit.frobenius_norm_sq();
-        if w.reference > 0.0 {
-            if let Some(p) = &self.inputs.p {
-                v += w.reference * xhat.checked_sub(p)?.frobenius_norm_sq();
-            }
-        }
-        if w.continuity > 0.0 || w.similarity > 0.0 {
-            let xd = crate::decrease::extract(&xhat, self.inputs.per)?;
-            if let Some(g) = &self.g {
-                if w.continuity > 0.0 {
-                    v += w.continuity * xd.matmul(g)?.frobenius_norm_sq();
-                }
-            }
-            if let Some(h) = &self.h {
-                if w.similarity > 0.0 {
-                    v += w.similarity * h.matmul(&xd)?.frobenius_norm_sq();
-                }
-            }
-        }
-        Ok(v)
-    }
-
-    /// One sweep of per-column closed-form updates of `R`
-    /// (the `MyInverse(..., L̂, ...)` call of Algorithm 1 line 3).
-    fn update_columns(&self, l: &Matrix, rm: &mut Matrix, w: &TermWeights) -> Result<()> {
-        let (m, n) = self.inputs.x_b.shape();
-        let r = self.rank;
-        let per = self.inputs.per;
-        // Precompute LᵀL for the reference term (Q3 of Algorithm 1).
-        let ltl = if w.reference > 0.0 {
-            Some(l.gram())
-        } else {
-            None
-        };
-
-        for j in 0..n {
-            let ii = j / per;
-            let jj = j % per;
-            let lrow = l.row(ii);
-
-            let mut a = Matrix::identity(r).scale(self.cfg.lambda);
-            let mut rhs = vec![0.0_f64; r];
-
-            // Data-fit term: Q2/C2 (masked rows only).
-            for i in 0..m {
-                if self.inputs.b[(i, j)] == 0.0 {
-                    continue;
-                }
-                let li = l.row(i);
-                let y = self.inputs.x_b[(i, j)];
-                for a_idx in 0..r {
-                    rhs[a_idx] += w.fit * y * li[a_idx];
-                    let row = a.row_mut(a_idx);
-                    for b_idx in 0..r {
-                        row[b_idx] += w.fit * li[a_idx] * li[b_idx];
-                    }
-                }
-            }
-
-            // Constraint 1: Q3/C3.
-            if let (Some(ltl), Some(p)) = (&ltl, &self.inputs.p) {
-                for a_idx in 0..r {
-                    let row = a.row_mut(a_idx);
-                    for b_idx in 0..r {
-                        row[b_idx] += w.reference * ltl[(a_idx, b_idx)];
-                    }
-                }
-                for i in 0..m {
-                    let pij = p[(i, j)];
-                    if pij == 0.0 {
-                        continue;
-                    }
-                    let li = l.row(i);
-                    for a_idx in 0..r {
-                        rhs[a_idx] += w.reference * pij * li[a_idx];
-                    }
-                }
-            }
-
-            // Constraint 2: Q4/Q5 (+C4/C5 in Exact mode).
-            if let Some(g) = &self.g {
-                if w.continuity > 0.0 {
-                    let (q4, c4) = match self.cfg.coupling {
-                        CouplingMode::PaperLiteral => {
-                            // Algorithm 1 line 18: column jj of G.
-                            let norm_sq: f64 = (0..per).map(|u| g[(u, jj)] * g[(u, jj)]).sum();
-                            (w.continuity * norm_sq, 0.0)
-                        }
-                        CouplingMode::Exact => {
-                            // Row jj of G (the true coefficient of
-                            // X_D(ii, jj) in X_D * G) plus the cross term.
-                            let norm_sq: f64 = (0..per).map(|p_| g[(jj, p_)] * g[(jj, p_)]).sum();
-                            let mut cross = 0.0;
-                            for p_ in 0..per {
-                                let gjp = g[(jj, p_)];
-                                if gjp == 0.0 {
-                                    continue;
-                                }
-                                // c_p = Σ_{u≠jj} X_D(ii, u) G(u, p).
-                                let mut c_p = 0.0;
-                                for u in 0..per {
-                                    if u == jj {
-                                        continue;
-                                    }
-                                    let gup = g[(u, p_)];
-                                    if gup == 0.0 {
-                                        continue;
-                                    }
-                                    let col = ii * per + u;
-                                    c_p += Matrix::dot(lrow, rm.row(col)) * gup;
-                                }
-                                cross += c_p * gjp;
-                            }
-                            (w.continuity * norm_sq, -w.continuity * cross)
-                        }
-                    };
-                    for a_idx in 0..r {
-                        rhs[a_idx] += c4 * lrow[a_idx];
-                        let row = a.row_mut(a_idx);
-                        for b_idx in 0..r {
-                            row[b_idx] += q4 * lrow[a_idx] * lrow[b_idx];
-                        }
-                    }
-                }
-            }
-            if let Some(h) = &self.h {
-                if w.similarity > 0.0 {
-                    // Column ii of H is the coefficient of X_D(ii, jj) in
-                    // H X_D (the dimension-correct reading of Algorithm 1
-                    // line 19, whose printed index is a typo).
-                    let norm_sq: f64 = (0..m).map(|p_| h[(p_, ii)] * h[(p_, ii)]).sum();
-                    let c5 = match self.cfg.coupling {
-                        CouplingMode::PaperLiteral => 0.0,
-                        CouplingMode::Exact => {
-                            let mut cross = 0.0;
-                            for p_ in 0..m {
-                                let hpi = h[(p_, ii)];
-                                if hpi == 0.0 {
-                                    continue;
-                                }
-                                // e_p = Σ_{k≠ii} H(p, k) X_D(k, jj).
-                                let mut e_p = 0.0;
-                                for k in 0..m {
-                                    if k == ii {
-                                        continue;
-                                    }
-                                    let hpk = h[(p_, k)];
-                                    if hpk == 0.0 {
-                                        continue;
-                                    }
-                                    let col = k * per + jj;
-                                    e_p += Matrix::dot(l.row(k), rm.row(col)) * hpk;
-                                }
-                                cross += e_p * hpi;
-                            }
-                            -w.similarity * cross
-                        }
-                    };
-                    let q5 = w.similarity * norm_sq;
-                    for a_idx in 0..r {
-                        rhs[a_idx] += c5 * lrow[a_idx];
-                        let row = a.row_mut(a_idx);
-                        for b_idx in 0..r {
-                            row[b_idx] += q5 * lrow[a_idx] * lrow[b_idx];
-                        }
-                    }
-                }
-            }
-
-            let theta = a.solve(&rhs)?;
-            rm.set_row(j, &theta);
-        }
-        Ok(())
-    }
-
-    /// One sweep of per-row closed-form updates of `L`
-    /// (the transposed `MyInverse` call of Algorithm 1 line 4).
-    fn update_rows(&self, l: &mut Matrix, rm: &Matrix, w: &TermWeights) -> Result<()> {
-        let (m, n) = self.inputs.x_b.shape();
-        let r = self.rank;
-        let per = self.inputs.per;
-        let rtr = if w.reference > 0.0 {
-            Some(rm.gram())
-        } else {
-            None
-        };
-
-        for i in 0..m {
-            let mut a = Matrix::identity(r).scale(self.cfg.lambda);
-            let mut rhs = vec![0.0_f64; r];
-
-            // Data-fit.
-            for j in 0..n {
-                if self.inputs.b[(i, j)] == 0.0 {
-                    continue;
-                }
-                let tj = rm.row(j);
-                let y = self.inputs.x_b[(i, j)];
-                for a_idx in 0..r {
-                    rhs[a_idx] += w.fit * y * tj[a_idx];
-                    let row = a.row_mut(a_idx);
-                    for b_idx in 0..r {
-                        row[b_idx] += w.fit * tj[a_idx] * tj[b_idx];
-                    }
-                }
-            }
-
-            // Constraint 1.
-            if let (Some(rtr), Some(p)) = (&rtr, &self.inputs.p) {
-                for a_idx in 0..r {
-                    let row = a.row_mut(a_idx);
-                    for b_idx in 0..r {
-                        row[b_idx] += w.reference * rtr[(a_idx, b_idx)];
-                    }
-                }
-                for j in 0..n {
-                    let pij = p[(i, j)];
-                    if pij == 0.0 {
-                        continue;
-                    }
-                    let tj = rm.row(j);
-                    for a_idx in 0..r {
-                        rhs[a_idx] += w.reference * pij * tj[a_idx];
-                    }
-                }
-            }
-
-            // Constraint 2a (continuity): row i of X_D is wholly owned by
-            // ℓ_i, so the term is a clean quadratic: Σ_p (ℓᵀ m_p)² with
-            // m_p = Σ_u G(u, p) θ_{i*per+u}. No cross terms in any mode.
-            if let Some(g) = &self.g {
-                if w.continuity > 0.0 {
-                    for p_ in 0..per {
-                        let mut m_p = vec![0.0_f64; r];
-                        for u in 0..per {
-                            let gup = g[(u, p_)];
-                            if gup == 0.0 {
-                                continue;
-                            }
-                            let tj = rm.row(i * per + u);
-                            for a_idx in 0..r {
-                                m_p[a_idx] += gup * tj[a_idx];
-                            }
-                        }
-                        for a_idx in 0..r {
-                            let row = a.row_mut(a_idx);
-                            for b_idx in 0..r {
-                                row[b_idx] += w.continuity * m_p[a_idx] * m_p[b_idx];
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Constraint 2b (similarity): ℓ_i appears in H X_D through
-            // column i of H; cross terms couple to the other links' rows.
-            if let Some(h) = &self.h {
-                if w.similarity > 0.0 {
-                    let norm_sq: f64 = (0..m).map(|p_| h[(p_, i)] * h[(p_, i)]).sum();
-                    for u in 0..per {
-                        let tj = rm.row(i * per + u);
-                        for a_idx in 0..r {
-                            let row = a.row_mut(a_idx);
-                            for b_idx in 0..r {
-                                row[b_idx] += w.similarity * norm_sq * tj[a_idx] * tj[b_idx];
-                            }
-                        }
-                    }
-                    if self.cfg.coupling == CouplingMode::Exact {
-                        for u in 0..per {
-                            let tj = rm.row(i * per + u);
-                            // Σ_p H(p, i) e_{p,u},
-                            // e_{p,u} = Σ_{k≠i} H(p, k) X_D(k, u).
-                            let mut cross = 0.0;
-                            for p_ in 0..m {
-                                let hpi = h[(p_, i)];
-                                if hpi == 0.0 {
-                                    continue;
-                                }
-                                let mut e_pu = 0.0;
-                                for k in 0..m {
-                                    if k == i {
-                                        continue;
-                                    }
-                                    let hpk = h[(p_, k)];
-                                    if hpk == 0.0 {
-                                        continue;
-                                    }
-                                    e_pu += hpk * Matrix::dot(l.row(k), rm.row(k * per + u));
-                                }
-                                cross += hpi * e_pu;
-                            }
-                            for a_idx in 0..r {
-                                rhs[a_idx] -= w.similarity * cross * tj[a_idx];
-                            }
-                        }
-                    }
-                }
-            }
-
-            let ell = a.solve(&rhs)?;
-            l.set_row(i, &ell);
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-
-    /// A synthetic "fingerprint" with the right structural shape:
-    /// smooth per-link dip profiles, similar adjacent links.
-    fn structured_fingerprint(m: usize, per: usize, seed: u64) -> Matrix {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let base: Vec<f64> = (0..m).map(|_| -62.0 + (rng.gen::<f64>() - 0.5) * 4.0).collect();
-        Matrix::from_fn(m, m * per, |i, j| {
-            let owner = j / per;
-            let u = j % per;
-            if owner == i {
-                // Dip profile: deep near the ends, shallow at the middle.
-                let x = u as f64 / (per - 1) as f64;
-                let dip = 4.0 + 5.0 * (2.0 * x - 1.0).powi(2);
-                base[i] - dip
-            } else if owner.abs_diff(i) == 1 {
-                base[i] - 1.0
-            } else {
-                base[i]
-            }
-        })
-    }
-
-    fn mask_no_decrease(m: usize, per: usize) -> Matrix {
-        Matrix::from_fn(m, m * per, |i, j| {
-            let owner = j / per;
-            if owner.abs_diff(i) <= 1 {
-                0.0
-            } else {
-                1.0
-            }
-        })
-    }
-
-    fn default_cfg() -> UpdaterConfig {
-        UpdaterConfig {
-            rank: Some(6),
-            max_iter: 40,
-            ..UpdaterConfig::default()
-        }
-    }
-
-    #[test]
-    fn shapes_validated() {
-        let x_b = Matrix::zeros(4, 12);
-        let b = Matrix::zeros(4, 12);
-        let ok = SolverInputs {
-            x_b: x_b.clone(),
-            b: b.clone(),
-            p: None,
-            per: 3,
-            warm_start: None,
-        };
-        assert!(Solver::new(ok, default_cfg()).is_ok());
-        let bad_per = SolverInputs {
-            x_b: x_b.clone(),
-            b: b.clone(),
-            p: None,
-            per: 5,
-            warm_start: None,
-        };
-        assert!(Solver::new(bad_per, default_cfg()).is_err());
-        let bad_mask = SolverInputs {
-            x_b: x_b.clone(),
-            b: Matrix::zeros(4, 11),
-            p: None,
-            per: 3,
-            warm_start: None,
-        };
-        assert!(Solver::new(bad_mask, default_cfg()).is_err());
-        let bad_p = SolverInputs {
-            x_b,
-            b,
-            p: Some(Matrix::zeros(3, 12)),
-            per: 3,
-            warm_start: None,
-        };
-        assert!(Solver::new(bad_p, default_cfg()).is_err());
-    }
-
-    #[test]
-    fn exact_mode_objective_never_increases() {
-        let x = structured_fingerprint(6, 8, 1);
-        let b = mask_no_decrease(6, 8);
-        let x_b = b.hadamard(&x).unwrap();
-        let inputs = SolverInputs {
-            x_b,
-            b,
-            p: Some(x.clone()),
-            per: 8,
-            warm_start: None,
-        };
-        let cfg = UpdaterConfig {
-            rank: Some(6),
-            max_iter: 25,
-            scaling: ScalingMode::Fixed,
-            coupling: CouplingMode::Exact,
-            ..UpdaterConfig::default()
-        };
-        let report = Solver::new(inputs, cfg).unwrap().solve().unwrap();
-        let tr = report.objective_trace();
-        for w in tr.windows(2) {
-            assert!(
-                w[1] <= w[0] * (1.0 + 1e-8),
-                "objective increased: {} -> {}",
-                w[0],
-                w[1]
-            );
-        }
-    }
-
-    #[test]
-    fn constraint1_pins_down_reconstruction() {
-        // With a perfect P = X, the reconstruction must approach X even
-        // on unknown cells (constraint 2 off: its smoothing bias is
-        // tested separately).
-        let x = structured_fingerprint(6, 8, 2);
-        let b = mask_no_decrease(6, 8);
-        let x_b = b.hadamard(&x).unwrap();
-        let inputs = SolverInputs {
-            x_b,
-            b: b.clone(),
-            p: Some(x.clone()),
-            per: 8,
-            warm_start: None,
-        };
-        let cfg = UpdaterConfig {
-            use_constraint2: false,
-            ..default_cfg()
-        };
-        let report = Solver::new(inputs, cfg).unwrap().solve().unwrap();
-        let xhat = report.reconstruction();
-        let mut worst: f64 = 0.0;
-        for i in 0..6 {
-            for j in 0..48 {
-                worst = worst.max((xhat[(i, j)] - x[(i, j)]).abs());
-            }
-        }
-        assert!(worst < 1.5, "worst-cell error {worst} dB with perfect constraint 1");
-    }
-
-    #[test]
-    fn constraint2_suppresses_outliers() {
-        // Truth whose largely-decrease structure satisfies constraint 2
-        // exactly (identical links, flat dip => X_D G = 0 and H X_D = 0),
-        // with heavy noise injected into P's large-decrease cells: the
-        // constraint should then strictly reduce the error (pure noise
-        // suppression, zero bias).
-        let (m, per) = (6usize, 8usize);
-        let x = Matrix::from_fn(m, m * per, |i, j| {
-            let owner = j / per;
-            if owner == i {
-                -68.0
-            } else {
-                -62.0
-            }
-        });
-        let b = mask_no_decrease(m, per);
-        let x_b = b.hadamard(&x).unwrap();
-        let mut rng = StdRng::seed_from_u64(77);
-        let mut p_noisy = x.clone();
-        for i in 0..m {
-            for u in 0..per {
-                let j = i * per + u;
-                if u % 2 == 0 {
-                    p_noisy[(i, j)] += (rng.gen::<f64>() - 0.5) * 12.0;
-                }
-            }
-        }
-        let err_with = |use_c2: bool| {
-            let cfg = UpdaterConfig {
-                rank: Some(6),
-                max_iter: 40,
-                use_constraint2: use_c2,
-                weight_continuity: 0.5,
-                weight_similarity: 0.2,
-                ..UpdaterConfig::default()
-            };
-            let inputs = SolverInputs {
-                x_b: x_b.clone(),
-                b: b.clone(),
-                p: Some(p_noisy.clone()),
-                per: 8,
-                warm_start: None,
-            };
-            let xhat = Solver::new(inputs, cfg).unwrap().solve().unwrap().reconstruction();
-            let mut err = 0.0;
-            for i in 0..6 {
-                for u in 0..8 {
-                    let j = i * 8 + u;
-                    err += (xhat[(i, j)] - x[(i, j)]).abs();
-                }
-            }
-            err / 48.0
-        };
-        let with_c2 = err_with(true);
-        let without = err_with(false);
-        assert!(
-            with_c2 < without,
-            "constraint 2 should reduce large-decrease error: {with_c2} vs {without}"
-        );
-    }
-
-    #[test]
-    fn warm_start_reproduces_truth_quickly() {
-        let x = structured_fingerprint(8, 12, 4);
-        let b = mask_no_decrease(8, 12);
-        let x_b = b.hadamard(&x).unwrap();
-        let inputs = SolverInputs {
-            x_b,
-            b,
-            p: Some(x.clone()),
-            per: 12,
-            warm_start: Some(x.clone()),
-        };
-        let cfg = UpdaterConfig {
-            rank: Some(8),
-            max_iter: 10,
-            ..UpdaterConfig::default()
-        };
-        let report = Solver::new(inputs, cfg).unwrap().solve().unwrap();
-        let xhat = report.reconstruction();
-        let rel = (&xhat - &x).frobenius_norm() / x.frobenius_norm();
-        assert!(rel < 0.02, "relative error {rel}");
-    }
-
-    #[test]
-    fn paper_literal_mode_still_converges() {
-        let x = structured_fingerprint(6, 8, 5);
-        let b = mask_no_decrease(6, 8);
-        let x_b = b.hadamard(&x).unwrap();
-        let inputs = SolverInputs {
-            x_b,
-            b,
-            p: Some(x.clone()),
-            per: 8,
-            warm_start: None,
-        };
-        let cfg = UpdaterConfig {
-            rank: Some(6),
-            coupling: CouplingMode::PaperLiteral,
-            max_iter: 40,
-            ..UpdaterConfig::default()
-        };
-        let report = Solver::new(inputs, cfg).unwrap().solve().unwrap();
-        let xhat = report.reconstruction();
-        let rel = (&xhat - &x).frobenius_norm() / x.frobenius_norm();
-        assert!(rel < 0.1, "paper-literal relative error {rel}");
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let x = structured_fingerprint(4, 6, 6);
-        let b = mask_no_decrease(4, 6);
-        let x_b = b.hadamard(&x).unwrap();
-        let mk = || SolverInputs {
-            x_b: x_b.clone(),
-            b: b.clone(),
-            p: Some(x.clone()),
-            per: 6,
-            warm_start: None,
-        };
-        let cfg = UpdaterConfig {
-            rank: Some(4),
-            max_iter: 15,
-            ..UpdaterConfig::default()
-        };
-        let a = Solver::new(mk(), cfg.clone()).unwrap().solve().unwrap();
-        let b2 = Solver::new(mk(), cfg).unwrap().solve().unwrap();
-        assert!(a.reconstruction().approx_eq(&b2.reconstruction(), 1e-12));
-    }
-
-    #[test]
-    fn report_accessors() {
-        let x = structured_fingerprint(4, 6, 8);
-        let b = mask_no_decrease(4, 6);
-        let x_b = b.hadamard(&x).unwrap();
-        let inputs = SolverInputs {
-            x_b,
-            b,
-            p: Some(x),
-            per: 6,
-            warm_start: None,
-        };
-        let cfg = UpdaterConfig {
-            rank: Some(3),
-            max_iter: 5,
-            ..UpdaterConfig::default()
-        };
-        let report = Solver::new(inputs, cfg).unwrap().solve().unwrap();
-        assert_eq!(report.l_factor().shape(), (4, 3));
-        assert_eq!(report.r_factor().shape(), (24, 3));
-        assert!(report.iterations() >= 1 && report.iterations() <= 5);
-        assert!(report.weights().fit > 0.0);
-        assert_eq!(report.objective_trace().len(), report.iterations() + 1);
-    }
-}
+pub use crate::solver::{SolveReport, Solver, SolverInputs, TermWeights};

@@ -1,0 +1,439 @@
+//! The batched update service: many deployments, one API.
+//!
+//! The paper evaluates one room at a time; a production system serves
+//! *fleets* of deployments (every floor of every site) whose update
+//! cycles are independent — exactly the shape the phase-split solver
+//! engine was built for. [`UpdateService`] owns N deployments (one
+//! [`Updater`] engine + fingerprint store each) and runs update cycles
+//! across them in parallel (via the rayon facade), exposing a batched
+//! API the CLI, the evaluation scenarios and the examples drive.
+//!
+//! ```
+//! use iupdater_core::service::UpdateService;
+//! use iupdater_core::UpdaterConfig;
+//! use iupdater_rfsim::{Environment, Testbed};
+//!
+//! let mut service = UpdateService::new();
+//! for (i, env) in Environment::all_presets().into_iter().enumerate() {
+//!     let name = format!("site-{i}");
+//!     service.register(name, Testbed::new(env, 7), UpdaterConfig::default(), 10)?;
+//! }
+//! let outcomes = service.run_cycle(45.0, 5)?;
+//! assert_eq!(outcomes.len(), 3);
+//! # Ok::<(), iupdater_core::CoreError>(())
+//! ```
+
+use rayon::prelude::*;
+
+use iupdater_rfsim::Testbed;
+
+use crate::config::{LocalizerConfig, UpdaterConfig};
+use crate::fingerprint::FingerprintMatrix;
+use crate::localize::{Localizer, LocationEstimate};
+use crate::reconstruct::Updater;
+use crate::solver::SolveReport;
+use crate::{CoreError, Result};
+
+/// Opaque handle to a deployment registered with the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeploymentId(usize);
+
+/// One managed deployment: simulator, engine, and the live database.
+#[derive(Debug)]
+struct ManagedDeployment {
+    name: String,
+    testbed: Testbed,
+    updater: Updater,
+    current: FingerprintMatrix,
+    /// Lazily built default-config localizer over `current`; reset
+    /// whenever `current` is replaced so online queries never rebuild
+    /// the centred dictionary per call.
+    localizer: std::sync::OnceLock<Localizer>,
+    cycles_run: usize,
+    last_update_day: f64,
+}
+
+/// Diagnostics of one deployment's update cycle.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// Which deployment.
+    pub id: DeploymentId,
+    /// Its registered name.
+    pub name: String,
+    /// Day offset of the cycle.
+    pub day: f64,
+    /// ALS iterations the solver performed.
+    pub iterations: usize,
+    /// Final objective value.
+    pub final_objective: f64,
+    /// Number of reference locations re-surveyed.
+    pub reference_count: usize,
+}
+
+/// A fleet of independently updating deployments (see module docs).
+#[derive(Debug, Default)]
+pub struct UpdateService {
+    deployments: Vec<ManagedDeployment>,
+}
+
+impl UpdateService {
+    /// An empty service.
+    pub fn new() -> Self {
+        UpdateService::default()
+    }
+
+    /// Registers a deployment: runs the day-0 site survey at
+    /// `survey_samples` readings per cell and builds its update engine
+    /// (MIC extraction + correlation learning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation and engine construction errors.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        testbed: Testbed,
+        config: UpdaterConfig,
+        survey_samples: usize,
+    ) -> Result<DeploymentId> {
+        let prior = FingerprintMatrix::survey(&testbed, 0.0, survey_samples.max(1));
+        let updater = Updater::new(prior.clone(), config)?;
+        let id = DeploymentId(self.deployments.len());
+        self.deployments.push(ManagedDeployment {
+            name: name.into(),
+            testbed,
+            updater,
+            current: prior,
+            localizer: std::sync::OnceLock::new(),
+            cycles_run: 0,
+            last_update_day: 0.0,
+        });
+        Ok(id)
+    }
+
+    /// Number of managed deployments.
+    pub fn len(&self) -> usize {
+        self.deployments.len()
+    }
+
+    /// `true` when no deployment is registered.
+    pub fn is_empty(&self) -> bool {
+        self.deployments.is_empty()
+    }
+
+    /// Handles of all managed deployments.
+    pub fn ids(&self) -> Vec<DeploymentId> {
+        (0..self.deployments.len()).map(DeploymentId).collect()
+    }
+
+    fn get(&self, id: DeploymentId) -> Result<&ManagedDeployment> {
+        self.deployments
+            .get(id.0)
+            .ok_or(CoreError::InvalidArgument("unknown deployment id"))
+    }
+
+    /// The deployment's registered name.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn name(&self, id: DeploymentId) -> Result<&str> {
+        Ok(&self.get(id)?.name)
+    }
+
+    /// The deployment's current (latest reconstructed) database.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn fingerprint(&self, id: DeploymentId) -> Result<&FingerprintMatrix> {
+        Ok(&self.get(id)?.current)
+    }
+
+    /// The deployment's update engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn updater(&self, id: DeploymentId) -> Result<&Updater> {
+        Ok(&self.get(id)?.updater)
+    }
+
+    /// The deployment's simulated testbed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn testbed(&self, id: DeploymentId) -> Result<&Testbed> {
+        Ok(&self.get(id)?.testbed)
+    }
+
+    /// Update cycles completed for the deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn cycles_run(&self, id: DeploymentId) -> Result<usize> {
+        Ok(self.get(id)?.cycles_run)
+    }
+
+    /// Runs one update cycle on **every** deployment at day offset
+    /// `day`, in parallel across deployments: each collects its fresh
+    /// reference columns and no-decrease readings, solves the
+    /// self-augmented RSVD, and commits the reconstruction as its live
+    /// database.
+    ///
+    /// # Errors
+    ///
+    /// Fails atomically: if any deployment's solve fails, no database
+    /// is replaced.
+    pub fn run_cycle(&mut self, day: f64, samples: usize) -> Result<Vec<UpdateOutcome>> {
+        // Parallel phase: solve every deployment against its testbed.
+        let results: Vec<Result<(FingerprintMatrix, SolveReport)>> = self
+            .deployments
+            .par_iter()
+            .map(|dep| run_deployment_cycle(dep, day, samples))
+            .collect();
+        // Commit phase: sequential, atomic on success of all.
+        let mut fresh = Vec::with_capacity(results.len());
+        for r in results {
+            fresh.push(r?);
+        }
+        let mut outcomes = Vec::with_capacity(fresh.len());
+        for (idx, (db, report)) in fresh.into_iter().enumerate() {
+            let dep = &mut self.deployments[idx];
+            dep.current = db;
+            dep.localizer = std::sync::OnceLock::new();
+            dep.cycles_run += 1;
+            dep.last_update_day = day;
+            outcomes.push(UpdateOutcome {
+                id: DeploymentId(idx),
+                name: dep.name.clone(),
+                day,
+                iterations: report.iterations(),
+                final_objective: *report
+                    .objective_trace()
+                    .last()
+                    .expect("trace is never empty"),
+                reference_count: dep.updater.reference_locations().len(),
+            });
+        }
+        Ok(outcomes)
+    }
+
+    /// Runs one update cycle for a single deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id; otherwise
+    /// propagates solver errors.
+    pub fn run_cycle_for(
+        &mut self,
+        id: DeploymentId,
+        day: f64,
+        samples: usize,
+    ) -> Result<UpdateOutcome> {
+        let dep = self
+            .deployments
+            .get(id.0)
+            .ok_or(CoreError::InvalidArgument("unknown deployment id"))?;
+        let (db, report) = run_deployment_cycle(dep, day, samples)?;
+        let dep = &mut self.deployments[id.0];
+        dep.current = db;
+        dep.localizer = std::sync::OnceLock::new();
+        dep.cycles_run += 1;
+        dep.last_update_day = day;
+        Ok(UpdateOutcome {
+            id,
+            name: dep.name.clone(),
+            day,
+            iterations: report.iterations(),
+            final_objective: *report
+                .objective_trace()
+                .last()
+                .expect("trace is never empty"),
+            reference_count: dep.updater.reference_locations().len(),
+        })
+    }
+
+    /// Localizes an online measurement against the deployment's current
+    /// database, reusing a cached default-config localizer (rebuilt
+    /// only after an update cycle replaces the database).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id; otherwise
+    /// propagates matching errors.
+    pub fn localize(&self, id: DeploymentId, y: &[f64]) -> Result<LocationEstimate> {
+        let dep = self.get(id)?;
+        dep.localizer
+            .get_or_init(|| Localizer::new(dep.current.clone(), LocalizerConfig::default()))
+            .localize(y)
+    }
+
+    /// [`UpdateService::localize`] with an explicit localizer config
+    /// (built per call; use [`UpdateService::localize`] on the online
+    /// hot path).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id; otherwise
+    /// propagates matching errors.
+    pub fn localize_with(
+        &self,
+        id: DeploymentId,
+        y: &[f64],
+        cfg: LocalizerConfig,
+    ) -> Result<LocationEstimate> {
+        let dep = self.get(id)?;
+        Localizer::new(dep.current.clone(), cfg).localize(y)
+    }
+
+    /// Re-learns the deployment's correlation engine from its *current*
+    /// database (periodic re-anchoring after many update cycles).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id; otherwise
+    /// propagates engine construction errors.
+    pub fn rebase(&mut self, id: DeploymentId) -> Result<()> {
+        let dep = self
+            .deployments
+            .get(id.0)
+            .ok_or(CoreError::InvalidArgument("unknown deployment id"))?;
+        let updater = Updater::new(dep.current.clone(), dep.updater.config().clone())?;
+        self.deployments[id.0].updater = updater;
+        Ok(())
+    }
+}
+
+/// One deployment's measurement collection + solve (the parallel body
+/// of [`UpdateService::run_cycle`]).
+fn run_deployment_cycle(
+    dep: &ManagedDeployment,
+    day: f64,
+    samples: usize,
+) -> Result<(FingerprintMatrix, SolveReport)> {
+    let samples = samples.max(1);
+    let x_r = dep
+        .testbed
+        .measure_columns(dep.updater.reference_locations(), day, samples);
+    let x_b_full = dep.testbed.fingerprint_matrix(day, samples);
+    let b = crate::classify::CellClassification::from_testbed(&dep.testbed).index_matrix();
+    let x_b = b.hadamard(&x_b_full)?;
+    let report = dep.updater.update_report(&x_r, &x_b, &b)?;
+    let db = dep.updater.prior().with_matrix(report.reconstruction())?;
+    Ok((db, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mean_reconstruction_error;
+    use iupdater_rfsim::Environment;
+
+    fn fleet() -> UpdateService {
+        let mut s = UpdateService::new();
+        for (i, env) in Environment::all_presets().into_iter().enumerate() {
+            s.register(
+                format!("site-{i}"),
+                Testbed::new(env, 11 + i as u64),
+                UpdaterConfig::default(),
+                10,
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn register_and_accessors() {
+        let s = fleet();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let ids = s.ids();
+        assert_eq!(s.name(ids[1]).unwrap(), "site-1");
+        assert!(s.fingerprint(ids[0]).unwrap().num_links() > 0);
+        assert_eq!(s.cycles_run(ids[2]).unwrap(), 0);
+        assert!(s.name(DeploymentId(99)).is_err());
+    }
+
+    #[test]
+    fn run_cycle_updates_all_deployments() {
+        let mut s = fleet();
+        let outcomes = s.run_cycle(45.0, 5).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for (o, id) in outcomes.iter().zip(s.ids()) {
+            assert_eq!(o.id, id);
+            assert!(o.iterations >= 1);
+            assert!(o.final_objective.is_finite());
+            assert!(o.reference_count >= 1);
+            assert_eq!(s.cycles_run(id).unwrap(), 1);
+        }
+        // Every reconstructed database beats its stale prior.
+        for id in s.ids() {
+            let truth = s.testbed(id).unwrap().expected_fingerprint_matrix(45.0);
+            let stale = s.updater(id).unwrap().prior().matrix().clone();
+            let fresh = s.fingerprint(id).unwrap().matrix();
+            let e_fresh = mean_reconstruction_error(fresh, &truth).unwrap();
+            let e_stale = mean_reconstruction_error(&stale, &truth).unwrap();
+            assert!(
+                e_fresh < e_stale,
+                "{}: fresh {e_fresh} vs stale {e_stale}",
+                s.name(id).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_cycle_matches_individual_updates() {
+        // The parallel fan-out must produce exactly what per-deployment
+        // sequential updates produce.
+        let mut batched = fleet();
+        let mut individual = fleet();
+        let outcomes = batched.run_cycle(15.0, 5).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for id in individual.ids() {
+            individual.run_cycle_for(id, 15.0, 5).unwrap();
+        }
+        for id in batched.ids() {
+            assert!(batched
+                .fingerprint(id)
+                .unwrap()
+                .matrix()
+                .approx_eq(individual.fingerprint(id).unwrap().matrix(), 0.0));
+        }
+    }
+
+    #[test]
+    fn localize_against_live_database() {
+        let mut s = fleet();
+        s.run_cycle(30.0, 5).unwrap();
+        let id = s.ids()[0];
+        let n = s.testbed(id).unwrap().deployment().num_locations();
+        let y = s.testbed(id).unwrap().online_measurement(7, 30.0, 99);
+        let est = s.localize(id, &y).unwrap();
+        assert!(est.grid < n);
+    }
+
+    #[test]
+    fn rebase_relearns_from_current() {
+        let mut s = fleet();
+        let id = s.ids()[0];
+        s.run_cycle(60.0, 5).unwrap();
+        let before_prior = s.updater(id).unwrap().prior().clone();
+        s.rebase(id).unwrap();
+        let after_prior = s.updater(id).unwrap().prior().clone();
+        // After rebasing, the engine's prior is the updated database,
+        // not the day-0 survey.
+        assert_ne!(before_prior, after_prior);
+        assert_eq!(after_prior, *s.fingerprint(id).unwrap());
+    }
+
+    #[test]
+    fn single_cycle_failure_is_isolated() {
+        let mut s = UpdateService::new();
+        assert!(s.run_cycle(1.0, 1).unwrap().is_empty());
+        assert!(s.run_cycle_for(DeploymentId(0), 1.0, 1).is_err());
+    }
+}

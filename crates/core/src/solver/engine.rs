@@ -1,0 +1,433 @@
+//! The generic ALS engine: alternating closed-form sweeps over an
+//! ordered list of [`PenaltyTerm`]s.
+//!
+//! # Phase-split parallel sweeps
+//!
+//! A column update of `R` solves `A_j θ_j = c_j` per column (Eq. 24).
+//! The key structural fact the engine exploits: **every quadratic
+//! coefficient `A_j` depends only on the fixed factor** (`L` during
+//! column sweeps), while only the Exact-coupling cross terms of
+//! constraint 2 read the factor being updated. Each sweep therefore
+//! runs in two phases:
+//!
+//! 1. **Assemble + factor (parallel)**: for all columns at once, build
+//!    `A_j` and the fixed part of `c_j`, then LU-factor `A_j` — the
+//!    `O(M r² + r³)` bulk of the sweep, embarrassingly parallel.
+//! 2. **Cross + solve**: add the cross terms and back-substitute. With
+//!    no active cross terms (paper-literal mode, or constraint 2 off)
+//!    this phase is also parallel; in Exact mode it walks columns in
+//!    the original ascending order, reading the partially-updated
+//!    factor exactly like the sequential monolith did (Gauss–Seidel).
+//!
+//! Both phases preserve the historical per-element accumulation order,
+//! so the refactored engine reproduces `solver::reference` bit-for-bit
+//! — the golden parity tests assert ≤ 1e-9 end to end.
+
+use iupdater_linalg::solve::Lu;
+use iupdater_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::config::{ScalingMode, UpdaterConfig};
+use crate::solver::terms::{
+    ContinuityTerm, DataFitTerm, PenaltyTerm, ReferenceTerm, SimilarityTerm, SweepCache,
+    TermContext,
+};
+use crate::solver::{SolveReport, SolverInputs, TermWeights};
+use crate::Result;
+
+/// The assembled, factored state of one normal-equation system.
+struct ColumnPlan {
+    lu: Lu,
+    rhs: Vec<f64>,
+}
+
+/// Minimum sweep size, measured as `systems x r²` (the dominant
+/// assembly cost), before a sweep fans out to the worker pool. The
+/// rayon facade spawns scoped threads per call, so below this the
+/// spawn overhead exceeds the sweep itself and the fused serial path
+/// wins (results are identical either way — see the parity tests).
+const MIN_PARALLEL_WORK: usize = 16_384;
+
+/// Resets a reusable normal-equation workspace to `A = λI`, `rhs = 0`
+/// (the exact values `Matrix::identity(r).scale(λ)` produces).
+fn reset_system(a: &mut Matrix, rhs: &mut [f64], lambda: f64) {
+    a.as_mut_slice().fill(0.0);
+    for i in 0..a.rows() {
+        a[(i, i)] = 1.0 * lambda;
+    }
+    rhs.fill(0.0);
+}
+
+/// The ALS engine: validated inputs plus derived relationship matrices.
+#[derive(Debug)]
+pub(crate) struct AlsEngine {
+    pub(crate) inputs: SolverInputs,
+    pub(crate) cfg: UpdaterConfig,
+    pub(crate) g: Option<Matrix>,
+    pub(crate) h: Option<Matrix>,
+    pub(crate) rank: usize,
+}
+
+impl AlsEngine {
+    /// Whether a sweep of `count` systems should take the fused serial
+    /// path instead of the phase-split parallel one.
+    fn serial_sweep(&self, count: usize) -> bool {
+        rayon::current_num_threads() == 1 || count * self.rank * self.rank < MIN_PARALLEL_WORK
+    }
+
+    fn ctx(&self) -> TermContext<'_> {
+        TermContext {
+            x_b: &self.inputs.x_b,
+            b: &self.inputs.b,
+            p: self.inputs.p.as_ref(),
+            per: self.inputs.per,
+            g: self.g.as_ref(),
+            h: self.h.as_ref(),
+        }
+    }
+
+    /// The standard four paper terms for the given effective weights, in
+    /// the canonical assembly order (fit, reference, continuity,
+    /// similarity — the order the objective lists them).
+    fn build_terms(&self, w: &TermWeights) -> Vec<Box<dyn PenaltyTerm>> {
+        vec![
+            Box::new(DataFitTerm { weight: w.fit }),
+            Box::new(ReferenceTerm {
+                weight: w.reference,
+            }),
+            Box::new(ContinuityTerm {
+                weight: w.continuity,
+                coupling: self.cfg.coupling,
+            }),
+            Box::new(SimilarityTerm {
+                weight: w.similarity,
+                coupling: self.cfg.coupling,
+            }),
+        ]
+    }
+
+    /// Algorithm 1 line 1: random or warm-started factors.
+    fn init_factors(&self) -> Result<(Matrix, Matrix)> {
+        let (m, n) = self.inputs.x_b.shape();
+        let r = self.rank;
+        Ok(match &self.inputs.warm_start {
+            Some(x0) => {
+                let svd = x0.svd()?;
+                let mut l = Matrix::zeros(m, r);
+                let mut rr = Matrix::zeros(n, r);
+                for t in 0..r.min(svd.singular_values.len()) {
+                    let s = svd.singular_values[t].sqrt();
+                    for i in 0..m {
+                        l[(i, t)] = svd.u[(i, t)] * s;
+                    }
+                    for j in 0..n {
+                        rr[(j, t)] = svd.v[(j, t)] * s;
+                    }
+                }
+                (l, rr)
+            }
+            None => {
+                let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+                // Random L0; scale so L Rᵀ can reach dBm magnitudes fast.
+                let scale = (self.inputs.x_b.max_abs().max(1.0) / r as f64).sqrt();
+                let l = Matrix::from_fn(m, r, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale);
+                let rm = Matrix::from_fn(n, r, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale);
+                (l, rm)
+            }
+        })
+    }
+
+    /// Computes effective weights: `Fixed` passes the config through,
+    /// `Auto` additionally balances each constraint against the data-fit
+    /// magnitude at the initial point.
+    fn effective_weights(&self, l: &Matrix, rm: &Matrix) -> Result<TermWeights> {
+        let cfg = &self.cfg;
+        let base = TermWeights {
+            fit: cfg.weight_fit,
+            reference: if cfg.use_constraint1 && self.inputs.p.is_some() {
+                cfg.weight_ref
+            } else {
+                0.0
+            },
+            continuity: if cfg.use_constraint2 {
+                cfg.weight_continuity
+            } else {
+                0.0
+            },
+            similarity: if cfg.use_constraint2 {
+                cfg.weight_similarity
+            } else {
+                0.0
+            },
+        };
+        if cfg.scaling == ScalingMode::Fixed {
+            return Ok(base);
+        }
+        // Auto: express each term per element and scale to the data-fit
+        // per-element magnitude at the initial point.
+        let xhat = l.matmul(&rm.transpose())?;
+        let fit_resid = self
+            .inputs
+            .b
+            .hadamard(&xhat)?
+            .checked_sub(&self.inputs.x_b)?;
+        let known = self.inputs.b.iter().filter(|&&v| v != 0.0).count().max(1);
+        let fit_mag = (fit_resid.frobenius_norm_sq() / known as f64).max(1e-9);
+
+        let scale_for = |value: f64, count: usize| -> f64 {
+            let per_elem = (value / count.max(1) as f64).max(1e-12);
+            (fit_mag / per_elem).clamp(0.05, 20.0)
+        };
+
+        let mut w = base;
+        if w.reference > 0.0 {
+            if let Some(p) = &self.inputs.p {
+                let resid = xhat.checked_sub(p)?;
+                w.reference *= scale_for(resid.frobenius_norm_sq(), p.rows() * p.cols());
+            }
+        }
+        if w.continuity > 0.0 || w.similarity > 0.0 {
+            let xd = crate::decrease::extract(&xhat, self.inputs.per)?;
+            if let (Some(g), w_g) = (&self.g, w.continuity) {
+                if w_g > 0.0 {
+                    let v = xd.matmul(g)?.frobenius_norm_sq();
+                    w.continuity *= scale_for(v, xd.rows() * xd.cols());
+                }
+            }
+            if let (Some(h), w_h) = (&self.h, w.similarity) {
+                if w_h > 0.0 {
+                    let v = h.matmul(&xd)?.frobenius_norm_sq();
+                    w.similarity *= scale_for(v, xd.rows() * xd.cols());
+                }
+            }
+        }
+        Ok(w)
+    }
+
+    /// The full objective (Eq. 18) at `(L, R)`: ridge plus every term,
+    /// evaluated on a reusable `xhat` buffer.
+    fn objective(
+        &self,
+        terms: &[Box<dyn PenaltyTerm>],
+        l: &Matrix,
+        rm: &Matrix,
+        xhat: &mut Matrix,
+    ) -> Result<f64> {
+        l.matmul_bt_into(rm, xhat)?;
+        let mut v = self.cfg.lambda * (l.frobenius_norm_sq() + rm.frobenius_norm_sq());
+        let ctx = self.ctx();
+        for term in terms {
+            if term.active() {
+                v += term.objective(&ctx, xhat)?;
+            }
+        }
+        Ok(v)
+    }
+
+    /// Phase 1 of a sweep: assemble and LU-factor all `count` systems in
+    /// parallel. `fixed_rows` yields the assembly for one system.
+    fn assemble_systems(
+        &self,
+        count: usize,
+        assemble: impl Fn(usize, &mut Matrix, &mut [f64]) -> Result<()> + Sync,
+    ) -> Result<Vec<ColumnPlan>> {
+        let r = self.rank;
+        let lambda = self.cfg.lambda;
+        let plans: Vec<Result<ColumnPlan>> = (0..count)
+            .into_par_iter()
+            .map(|idx| {
+                let mut a = Matrix::identity(r);
+                a.scale_mut(lambda);
+                let mut rhs = vec![0.0_f64; r];
+                assemble(idx, &mut a, &mut rhs)?;
+                let lu = a.lu()?;
+                Ok(ColumnPlan { lu, rhs })
+            })
+            .collect();
+        plans.into_iter().collect()
+    }
+
+    /// One sweep of per-column closed-form updates of `R` (the
+    /// `MyInverse(..., L̂, ...)` call of Algorithm 1 line 3).
+    fn update_columns(
+        &self,
+        terms: &[Box<dyn PenaltyTerm>],
+        l: &Matrix,
+        rm: &mut Matrix,
+    ) -> Result<()> {
+        let n = self.inputs.x_b.cols();
+        let r = self.rank;
+        let lambda = self.cfg.lambda;
+        let ctx = self.ctx();
+        let sweep = SweepCache {
+            gram: terms
+                .iter()
+                .any(|t| t.active() && t.wants_gram())
+                .then(|| l.gram()),
+        };
+        let cross_terms: Vec<&Box<dyn PenaltyTerm>> = terms
+            .iter()
+            .filter(|t| t.active() && t.has_column_cross())
+            .collect();
+
+        if self.serial_sweep(n) {
+            // Fused serial sweep: assemble, cross, solve and write per
+            // column in one pass — no plan materialisation, same
+            // numbers as the phase-split path.
+            let mut a = Matrix::zeros(r, r);
+            let mut rhs = vec![0.0_f64; r];
+            for j in 0..n {
+                reset_system(&mut a, &mut rhs, lambda);
+                for term in terms {
+                    if term.active() {
+                        term.assemble_column(&ctx, j, l, &sweep, &mut a, &mut rhs)?;
+                    }
+                }
+                let lu = a.lu()?;
+                for term in &cross_terms {
+                    term.column_cross(&ctx, j, l, rm, &mut rhs);
+                }
+                let theta = lu.solve(&rhs);
+                rm.set_row(j, &theta);
+            }
+            return Ok(());
+        }
+
+        let plans = self.assemble_systems(n, |j, a, rhs| {
+            for term in terms {
+                if term.active() {
+                    term.assemble_column(&ctx, j, l, &sweep, a, rhs)?;
+                }
+            }
+            Ok(())
+        })?;
+        if cross_terms.is_empty() {
+            // Fully independent columns: solve and write in parallel.
+            let rows: Vec<Vec<f64>> = plans
+                .par_iter()
+                .map(|plan| plan.lu.solve(&plan.rhs))
+                .collect();
+            for (j, theta) in rows.iter().enumerate() {
+                rm.set_row(j, theta);
+            }
+        } else {
+            // Gauss–Seidel: original ascending order, reading the
+            // partially updated factor.
+            for (j, plan) in plans.into_iter().enumerate() {
+                let mut rhs = plan.rhs;
+                for term in &cross_terms {
+                    term.column_cross(&ctx, j, l, rm, &mut rhs);
+                }
+                let theta = plan.lu.solve(&rhs);
+                rm.set_row(j, &theta);
+            }
+        }
+        Ok(())
+    }
+
+    /// One sweep of per-row closed-form updates of `L` (the transposed
+    /// `MyInverse` call of Algorithm 1 line 4).
+    fn update_rows(
+        &self,
+        terms: &[Box<dyn PenaltyTerm>],
+        l: &mut Matrix,
+        rm: &Matrix,
+    ) -> Result<()> {
+        let m = self.inputs.x_b.rows();
+        let r = self.rank;
+        let lambda = self.cfg.lambda;
+        let ctx = self.ctx();
+        let sweep = SweepCache {
+            gram: terms
+                .iter()
+                .any(|t| t.active() && t.wants_gram())
+                .then(|| rm.gram()),
+        };
+        let cross_terms: Vec<&Box<dyn PenaltyTerm>> = terms
+            .iter()
+            .filter(|t| t.active() && t.has_row_cross())
+            .collect();
+
+        if self.serial_sweep(m) {
+            let mut a = Matrix::zeros(r, r);
+            let mut rhs = vec![0.0_f64; r];
+            for i in 0..m {
+                reset_system(&mut a, &mut rhs, lambda);
+                for term in terms {
+                    if term.active() {
+                        term.assemble_row(&ctx, i, rm, &sweep, &mut a, &mut rhs)?;
+                    }
+                }
+                let lu = a.lu()?;
+                for term in &cross_terms {
+                    term.row_cross(&ctx, i, l, rm, &mut rhs);
+                }
+                let ell = lu.solve(&rhs);
+                l.set_row(i, &ell);
+            }
+            return Ok(());
+        }
+
+        let plans = self.assemble_systems(m, |i, a, rhs| {
+            for term in terms {
+                if term.active() {
+                    term.assemble_row(&ctx, i, rm, &sweep, a, rhs)?;
+                }
+            }
+            Ok(())
+        })?;
+        if cross_terms.is_empty() {
+            let rows: Vec<Vec<f64>> = plans
+                .par_iter()
+                .map(|plan| plan.lu.solve(&plan.rhs))
+                .collect();
+            for (i, ell) in rows.iter().enumerate() {
+                l.set_row(i, ell);
+            }
+        } else {
+            for (i, plan) in plans.into_iter().enumerate() {
+                let mut rhs = plan.rhs;
+                for term in &cross_terms {
+                    term.row_cross(&ctx, i, l, rm, &mut rhs);
+                }
+                let ell = plan.lu.solve(&rhs);
+                l.set_row(i, &ell);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs Algorithm 1 to convergence or the iteration budget.
+    pub(crate) fn solve(&self) -> Result<SolveReport> {
+        let (m, n) = self.inputs.x_b.shape();
+        let (mut l, mut rm) = self.init_factors()?;
+        let weights = self.effective_weights(&l, &rm)?;
+        let terms = self.build_terms(&weights);
+
+        let mut xhat = Matrix::zeros(m, n);
+        let mut trace = Vec::with_capacity(self.cfg.max_iter + 1);
+        trace.push(self.objective(&terms, &l, &rm, &mut xhat)?);
+        let mut iterations = 0;
+        for _ in 0..self.cfg.max_iter {
+            self.update_columns(&terms, &l, &mut rm)?;
+            self.update_rows(&terms, &mut l, &rm)?;
+            iterations += 1;
+            let v = self.objective(&terms, &l, &rm, &mut xhat)?;
+            let prev = *trace.last().expect("trace non-empty");
+            trace.push(v);
+            // Stop on relative stagnation (plays the role of v_th).
+            if (prev - v).abs() <= self.cfg.tol * prev.abs().max(1e-12) {
+                break;
+            }
+        }
+        Ok(SolveReport {
+            l,
+            r: rm,
+            objective_trace: trace,
+            iterations,
+            weights,
+        })
+    }
+}

@@ -1,0 +1,590 @@
+//! Pluggable penalty terms of the self-augmented objective (Eq. 18).
+//!
+//! Each additive term of the objective is a [`PenaltyTerm`]: it knows
+//! how to evaluate itself and how to contribute to the per-column /
+//! per-row normal equations the ALS engine solves (`MyInverse` in
+//! Algorithm 1). The engine composes an ordered list of terms, so the
+//! paper's constraints are configuration, not control flow:
+//!
+//! - [`DataFitTerm`] — `w_fit ‖B ∘ (L Rᵀ) − X_B‖²` (Eq. 8),
+//! - [`ReferenceTerm`] — `w_ref ‖L Rᵀ − X_R Z‖²` (constraint 1),
+//! - [`ContinuityTerm`] — `w_g ‖X_D G‖²` (constraint 2a),
+//! - [`SimilarityTerm`] — `w_h ‖H X_D‖²` (constraint 2b).
+//!
+//! A term's contribution to a column update of `R` splits into a part
+//! that only depends on `L` (the quadratic coefficients and the fixed
+//! linear terms — [`PenaltyTerm::assemble_column`]) and, for
+//! [`CouplingMode::Exact`], a linear *cross* part that reads the
+//! current `R` ([`PenaltyTerm::column_cross`]). The engine exploits
+//! the split: the `R`-independent systems are assembled and factored
+//! in parallel, while the Gauss–Seidel cross terms run in the original
+//! sequential order — so parallel solves are bit-identical to the
+//! historical monolith (see `solver::reference`).
+
+use iupdater_linalg::{axpy_slice, Matrix};
+
+use crate::config::CouplingMode;
+use crate::Result;
+
+/// Borrowed problem data shared by every term.
+#[derive(Debug, Clone, Copy)]
+pub struct TermContext<'a> {
+    /// Known no-decrease values (zeros elsewhere), Eq. (8)'s `X_B`.
+    pub x_b: &'a Matrix,
+    /// Binary mask: 1 = known cell.
+    pub b: &'a Matrix,
+    /// Constraint-1 target `P = X_R Z` (when constraint 1 is active).
+    pub p: Option<&'a Matrix>,
+    /// Locations per link `N/M`.
+    pub per: usize,
+    /// Continuity relationship matrix `G` (when constraint 2 is active).
+    pub g: Option<&'a Matrix>,
+    /// Similarity relationship matrix `H` (when constraint 2 is active).
+    pub h: Option<&'a Matrix>,
+}
+
+/// Per-sweep shared precomputation (currently the Gram matrix `FᵀF` of
+/// the fixed factor, requested via [`PenaltyTerm::wants_gram`]).
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    /// `LᵀL` during column sweeps, `RᵀR` during row sweeps.
+    pub gram: Option<Matrix>,
+}
+
+/// One additive penalty of the solver objective.
+///
+/// Implementations must keep three contracts:
+///
+/// 1. `assemble_*` may depend on the *fixed* factor of the sweep only
+///    (`L` for columns, `R` for rows) — never on the factor being
+///    updated. Everything that reads the updated factor goes into the
+///    `*_cross` hook and must be flagged by `has_*_cross`.
+/// 2. Contributions add into `a` / `rhs`; they never overwrite.
+/// 3. Implementations are `Send + Sync` so sweeps can fan out.
+pub trait PenaltyTerm: Send + Sync {
+    /// Short identifier used in diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Effective (post-scaling) weight of the term.
+    fn weight(&self) -> f64;
+
+    /// Whether the term contributes at all.
+    fn active(&self) -> bool {
+        self.weight() > 0.0
+    }
+
+    /// Whether the engine should provide [`SweepCache::gram`].
+    fn wants_gram(&self) -> bool {
+        false
+    }
+
+    /// The term's value at `(L, R)`; `xhat` is the precomputed `L Rᵀ`.
+    fn objective(&self, ctx: &TermContext<'_>, xhat: &Matrix) -> Result<f64>;
+
+    /// Adds the `R`-independent part of the term's contribution to the
+    /// normal equations of column `j` (`a θ = rhs`, both `r x r` / `r`).
+    fn assemble_column(
+        &self,
+        ctx: &TermContext<'_>,
+        j: usize,
+        l: &Matrix,
+        sweep: &SweepCache,
+        a: &mut Matrix,
+        rhs: &mut [f64],
+    ) -> Result<()>;
+
+    /// Whether [`PenaltyTerm::column_cross`] contributes.
+    fn has_column_cross(&self) -> bool {
+        false
+    }
+
+    /// Adds the `R`-dependent linear cross contribution for column `j`
+    /// (Gauss–Seidel: reads the current, partially updated `R`).
+    fn column_cross(
+        &self,
+        _ctx: &TermContext<'_>,
+        _j: usize,
+        _l: &Matrix,
+        _rm: &Matrix,
+        _rhs: &mut [f64],
+    ) {
+    }
+
+    /// Adds the `L`-independent part of the term's contribution to the
+    /// normal equations of row `i`.
+    fn assemble_row(
+        &self,
+        ctx: &TermContext<'_>,
+        i: usize,
+        rm: &Matrix,
+        sweep: &SweepCache,
+        a: &mut Matrix,
+        rhs: &mut [f64],
+    ) -> Result<()>;
+
+    /// Whether [`PenaltyTerm::row_cross`] contributes.
+    fn has_row_cross(&self) -> bool {
+        false
+    }
+
+    /// Adds the `L`-dependent linear cross contribution for row `i`.
+    fn row_cross(
+        &self,
+        _ctx: &TermContext<'_>,
+        _i: usize,
+        _l: &Matrix,
+        _rm: &Matrix,
+        _rhs: &mut [f64],
+    ) {
+    }
+}
+
+/// The masked data-fit term `w ‖B ∘ (L Rᵀ) − X_B‖²` (Q2/C2).
+#[derive(Debug, Clone, Copy)]
+pub struct DataFitTerm {
+    /// Effective weight.
+    pub weight: f64,
+}
+
+impl PenaltyTerm for DataFitTerm {
+    fn name(&self) -> &'static str {
+        "data-fit"
+    }
+
+    fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn objective(&self, ctx: &TermContext<'_>, xhat: &Matrix) -> Result<f64> {
+        // Row-major elementwise pass: same accumulation order as
+        // `hadamard` + `checked_sub` + `frobenius_norm_sq`, no allocs.
+        let mut sum = 0.0;
+        for ((&bv, &xv), &tv) in ctx
+            .b
+            .as_slice()
+            .iter()
+            .zip(xhat.as_slice())
+            .zip(ctx.x_b.as_slice())
+        {
+            let d = bv * xv - tv;
+            sum += d * d;
+        }
+        Ok(self.weight * sum)
+    }
+
+    fn assemble_column(
+        &self,
+        ctx: &TermContext<'_>,
+        j: usize,
+        l: &Matrix,
+        _sweep: &SweepCache,
+        a: &mut Matrix,
+        rhs: &mut [f64],
+    ) -> Result<()> {
+        for i in 0..ctx.b.rows() {
+            if ctx.b[(i, j)] == 0.0 {
+                continue;
+            }
+            let li = l.row(i);
+            let y = ctx.x_b[(i, j)];
+            axpy_slice(self.weight * y, li, rhs);
+            a.add_outer(self.weight, li);
+        }
+        Ok(())
+    }
+
+    fn assemble_row(
+        &self,
+        ctx: &TermContext<'_>,
+        i: usize,
+        rm: &Matrix,
+        _sweep: &SweepCache,
+        a: &mut Matrix,
+        rhs: &mut [f64],
+    ) -> Result<()> {
+        for j in 0..ctx.b.cols() {
+            if ctx.b[(i, j)] == 0.0 {
+                continue;
+            }
+            let tj = rm.row(j);
+            let y = ctx.x_b[(i, j)];
+            axpy_slice(self.weight * y, tj, rhs);
+            a.add_outer(self.weight, tj);
+        }
+        Ok(())
+    }
+}
+
+/// Constraint 1: `w ‖L Rᵀ − P‖²` with `P = X_R Z` (Q3/C3).
+#[derive(Debug, Clone, Copy)]
+pub struct ReferenceTerm {
+    /// Effective weight.
+    pub weight: f64,
+}
+
+impl PenaltyTerm for ReferenceTerm {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn wants_gram(&self) -> bool {
+        true
+    }
+
+    fn objective(&self, ctx: &TermContext<'_>, xhat: &Matrix) -> Result<f64> {
+        let Some(p) = ctx.p else { return Ok(0.0) };
+        let mut sum = 0.0;
+        for (&xv, &pv) in xhat.as_slice().iter().zip(p.as_slice()) {
+            let d = xv - pv;
+            sum += d * d;
+        }
+        Ok(self.weight * sum)
+    }
+
+    fn assemble_column(
+        &self,
+        ctx: &TermContext<'_>,
+        j: usize,
+        l: &Matrix,
+        sweep: &SweepCache,
+        a: &mut Matrix,
+        rhs: &mut [f64],
+    ) -> Result<()> {
+        let Some(p) = ctx.p else { return Ok(()) };
+        let gram = sweep
+            .gram
+            .as_ref()
+            .expect("reference term requires the sweep Gram");
+        a.axpy(self.weight, gram)?;
+        for i in 0..l.rows() {
+            let pij = p[(i, j)];
+            if pij == 0.0 {
+                continue;
+            }
+            axpy_slice(self.weight * pij, l.row(i), rhs);
+        }
+        Ok(())
+    }
+
+    fn assemble_row(
+        &self,
+        ctx: &TermContext<'_>,
+        i: usize,
+        rm: &Matrix,
+        sweep: &SweepCache,
+        a: &mut Matrix,
+        rhs: &mut [f64],
+    ) -> Result<()> {
+        let Some(p) = ctx.p else { return Ok(()) };
+        let gram = sweep
+            .gram
+            .as_ref()
+            .expect("reference term requires the sweep Gram");
+        a.axpy(self.weight, gram)?;
+        for j in 0..rm.rows() {
+            let pij = p[(i, j)];
+            if pij == 0.0 {
+                continue;
+            }
+            axpy_slice(self.weight * pij, rm.row(j), rhs);
+        }
+        Ok(())
+    }
+}
+
+/// Constraint 2a: neighbouring-location continuity `w ‖X_D G‖²`
+/// (Q4/C4). [`CouplingMode`] is a *term configuration* here: it picks
+/// the quadratic coefficient (paper-literal column of `G` vs the exact
+/// row) and whether the cross term contributes.
+#[derive(Debug, Clone, Copy)]
+pub struct ContinuityTerm {
+    /// Effective weight.
+    pub weight: f64,
+    /// Cross-term handling.
+    pub coupling: CouplingMode,
+}
+
+impl PenaltyTerm for ContinuityTerm {
+    fn name(&self) -> &'static str {
+        "continuity"
+    }
+
+    fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn objective(&self, ctx: &TermContext<'_>, xhat: &Matrix) -> Result<f64> {
+        let Some(g) = ctx.g else { return Ok(0.0) };
+        let xd = crate::decrease::extract(xhat, ctx.per)?;
+        Ok(self.weight * xd.matmul(g)?.frobenius_norm_sq())
+    }
+
+    fn assemble_column(
+        &self,
+        ctx: &TermContext<'_>,
+        j: usize,
+        l: &Matrix,
+        _sweep: &SweepCache,
+        a: &mut Matrix,
+        _rhs: &mut [f64],
+    ) -> Result<()> {
+        let Some(g) = ctx.g else { return Ok(()) };
+        let per = ctx.per;
+        let (ii, jj) = (j / per, j % per);
+        let norm_sq: f64 = match self.coupling {
+            // Algorithm 1 line 18: column jj of G.
+            CouplingMode::PaperLiteral => (0..per).map(|u| g[(u, jj)] * g[(u, jj)]).sum(),
+            // Row jj of G: the true coefficient of X_D(ii, jj) in X_D G.
+            CouplingMode::Exact => (0..per).map(|p_| g[(jj, p_)] * g[(jj, p_)]).sum(),
+        };
+        a.add_outer(self.weight * norm_sq, l.row(ii));
+        Ok(())
+    }
+
+    fn has_column_cross(&self) -> bool {
+        self.coupling == CouplingMode::Exact
+    }
+
+    fn column_cross(
+        &self,
+        ctx: &TermContext<'_>,
+        j: usize,
+        l: &Matrix,
+        rm: &Matrix,
+        rhs: &mut [f64],
+    ) {
+        let Some(g) = ctx.g else { return };
+        let per = ctx.per;
+        let (ii, jj) = (j / per, j % per);
+        let lrow = l.row(ii);
+        // Current X_D(ii, u) values of this link's row, computed once
+        // (the monolith recomputed each dot product per (p, u) pair).
+        let xd_row: Vec<f64> = (0..per)
+            .map(|u| {
+                if u == jj {
+                    0.0
+                } else {
+                    Matrix::dot(lrow, rm.row(ii * per + u))
+                }
+            })
+            .collect();
+        let mut cross = 0.0;
+        for p_ in 0..per {
+            let gjp = g[(jj, p_)];
+            if gjp == 0.0 {
+                continue;
+            }
+            // c_p = Σ_{u≠jj} X_D(ii, u) G(u, p).
+            let mut c_p = 0.0;
+            for (u, &xdu) in xd_row.iter().enumerate() {
+                if u == jj {
+                    continue;
+                }
+                let gup = g[(u, p_)];
+                if gup == 0.0 {
+                    continue;
+                }
+                c_p += xdu * gup;
+            }
+            cross += c_p * gjp;
+        }
+        axpy_slice(-self.weight * cross, lrow, rhs);
+    }
+
+    fn assemble_row(
+        &self,
+        ctx: &TermContext<'_>,
+        i: usize,
+        rm: &Matrix,
+        _sweep: &SweepCache,
+        a: &mut Matrix,
+        _rhs: &mut [f64],
+    ) -> Result<()> {
+        // Row i of X_D is wholly owned by ℓ_i, so the term is a clean
+        // quadratic Σ_p (ℓᵀ m_p)² with m_p = Σ_u G(u, p) θ_{i*per+u}:
+        // no cross terms in any mode.
+        let Some(g) = ctx.g else { return Ok(()) };
+        let per = ctx.per;
+        let r = rhs_len(a);
+        let mut m_p = vec![0.0_f64; r];
+        for p_ in 0..per {
+            m_p.fill(0.0);
+            for u in 0..per {
+                let gup = g[(u, p_)];
+                if gup == 0.0 {
+                    continue;
+                }
+                axpy_slice(gup, rm.row(i * per + u), &mut m_p);
+            }
+            a.add_outer(self.weight, &m_p);
+        }
+        Ok(())
+    }
+}
+
+/// Constraint 2b: adjacent-link similarity `w ‖H X_D‖²` (Q5/C5).
+#[derive(Debug, Clone, Copy)]
+pub struct SimilarityTerm {
+    /// Effective weight.
+    pub weight: f64,
+    /// Cross-term handling.
+    pub coupling: CouplingMode,
+}
+
+impl PenaltyTerm for SimilarityTerm {
+    fn name(&self) -> &'static str {
+        "similarity"
+    }
+
+    fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn objective(&self, ctx: &TermContext<'_>, xhat: &Matrix) -> Result<f64> {
+        let Some(h) = ctx.h else { return Ok(0.0) };
+        let xd = crate::decrease::extract(xhat, ctx.per)?;
+        Ok(self.weight * h.matmul(&xd)?.frobenius_norm_sq())
+    }
+
+    fn assemble_column(
+        &self,
+        ctx: &TermContext<'_>,
+        j: usize,
+        l: &Matrix,
+        _sweep: &SweepCache,
+        a: &mut Matrix,
+        _rhs: &mut [f64],
+    ) -> Result<()> {
+        let Some(h) = ctx.h else { return Ok(()) };
+        let ii = j / ctx.per;
+        // Column ii of H is the coefficient of X_D(ii, jj) in H X_D
+        // (the dimension-correct reading of Algorithm 1 line 19, whose
+        // printed index is a typo).
+        let m = h.rows();
+        let norm_sq: f64 = (0..m).map(|p_| h[(p_, ii)] * h[(p_, ii)]).sum();
+        a.add_outer(self.weight * norm_sq, l.row(ii));
+        Ok(())
+    }
+
+    fn has_column_cross(&self) -> bool {
+        self.coupling == CouplingMode::Exact
+    }
+
+    fn column_cross(
+        &self,
+        ctx: &TermContext<'_>,
+        j: usize,
+        l: &Matrix,
+        rm: &Matrix,
+        rhs: &mut [f64],
+    ) {
+        let Some(h) = ctx.h else { return };
+        let per = ctx.per;
+        let (ii, jj) = (j / per, j % per);
+        let lrow = l.row(ii);
+        let m = h.rows();
+        // Current X_D(k, jj) for every other link, computed once.
+        let xd_col: Vec<f64> = (0..m)
+            .map(|k| {
+                if k == ii {
+                    0.0
+                } else {
+                    Matrix::dot(l.row(k), rm.row(k * per + jj))
+                }
+            })
+            .collect();
+        let mut cross = 0.0;
+        for p_ in 0..m {
+            let hpi = h[(p_, ii)];
+            if hpi == 0.0 {
+                continue;
+            }
+            // e_p = Σ_{k≠ii} H(p, k) X_D(k, jj).
+            let mut e_p = 0.0;
+            for (k, &xdk) in xd_col.iter().enumerate() {
+                if k == ii {
+                    continue;
+                }
+                let hpk = h[(p_, k)];
+                if hpk == 0.0 {
+                    continue;
+                }
+                e_p += xdk * hpk;
+            }
+            cross += e_p * hpi;
+        }
+        axpy_slice(-self.weight * cross, lrow, rhs);
+    }
+
+    fn assemble_row(
+        &self,
+        ctx: &TermContext<'_>,
+        i: usize,
+        rm: &Matrix,
+        _sweep: &SweepCache,
+        a: &mut Matrix,
+        _rhs: &mut [f64],
+    ) -> Result<()> {
+        let Some(h) = ctx.h else { return Ok(()) };
+        let per = ctx.per;
+        let m = h.rows();
+        let norm_sq: f64 = (0..m).map(|p_| h[(p_, i)] * h[(p_, i)]).sum();
+        for u in 0..per {
+            a.add_outer(self.weight * norm_sq, rm.row(i * per + u));
+        }
+        Ok(())
+    }
+
+    fn has_row_cross(&self) -> bool {
+        self.coupling == CouplingMode::Exact
+    }
+
+    fn row_cross(&self, ctx: &TermContext<'_>, i: usize, l: &Matrix, rm: &Matrix, rhs: &mut [f64]) {
+        let Some(h) = ctx.h else { return };
+        let per = ctx.per;
+        let m = h.rows();
+        for u in 0..per {
+            let tj = rm.row(i * per + u);
+            // Current X_D(k, u) for every other link, computed once per u.
+            let xd_col: Vec<f64> = (0..m)
+                .map(|k| {
+                    if k == i {
+                        0.0
+                    } else {
+                        Matrix::dot(l.row(k), rm.row(k * per + u))
+                    }
+                })
+                .collect();
+            // Σ_p H(p, i) e_{p,u},  e_{p,u} = Σ_{k≠i} H(p, k) X_D(k, u).
+            let mut cross = 0.0;
+            for p_ in 0..m {
+                let hpi = h[(p_, i)];
+                if hpi == 0.0 {
+                    continue;
+                }
+                let mut e_pu = 0.0;
+                for (k, &xdk) in xd_col.iter().enumerate() {
+                    if k == i {
+                        continue;
+                    }
+                    let hpk = h[(p_, k)];
+                    if hpk == 0.0 {
+                        continue;
+                    }
+                    e_pu += hpk * xdk;
+                }
+                cross += hpi * e_pu;
+            }
+            axpy_slice(-self.weight * cross, tj, rhs);
+        }
+    }
+}
+
+/// Rank of the normal-equation system being assembled.
+fn rhs_len(a: &Matrix) -> usize {
+    a.rows()
+}

@@ -103,57 +103,54 @@ impl Tracker {
             .sum()
     }
 
-    /// Decodes the most likely cell sequence for a measurement stream.
+    /// Decodes the most likely cell sequence for a measurement stream
+    /// (one epoch per row of `measurements`).
     ///
     /// # Errors
     ///
     /// - [`CoreError::InvalidArgument`] for an empty stream.
-    /// - [`CoreError::DimensionMismatch`] if any measurement has the
-    ///   wrong length.
-    pub fn track(&self, measurements: &[Vec<f64>]) -> Result<Vec<usize>> {
-        if measurements.is_empty() {
+    /// - [`CoreError::DimensionMismatch`] if the measurement width does
+    ///   not match the link count.
+    pub fn track(&self, measurements: &Matrix) -> Result<Vec<usize>> {
+        if measurements.rows() == 0 {
             return Err(CoreError::InvalidArgument("empty measurement stream"));
         }
         let m = self.dictionary.rows();
         let n = self.dictionary.cols();
-        for y in measurements {
-            if y.len() != m {
-                return Err(CoreError::DimensionMismatch {
-                    context: "Tracker::track",
-                    expected: format!("{m} link measurements"),
-                    got: format!("{}", y.len()),
-                });
-            }
+        if measurements.cols() != m {
+            return Err(CoreError::DimensionMismatch {
+                context: "Tracker::track",
+                expected: format!("{m} link measurements"),
+                got: format!("{}", measurements.cols()),
+            });
         }
-        let centered: Vec<Vec<f64>> = measurements
-            .iter()
-            .map(|y| {
-                if self.config.center {
-                    y.iter().zip(&self.row_means).map(|(v, mu)| v - mu).collect()
-                } else {
-                    y.clone()
-                }
-            })
-            .collect();
+        let centered = if self.config.center {
+            measurements.map_indexed(|_, j, v| v - self.row_means[j])
+        } else {
+            measurements.clone()
+        };
 
         let max_step_sq = self.config.max_step_m * self.config.max_step_m;
         // Viterbi forward pass.
-        let mut cost: Vec<f64> = (0..n).map(|j| self.emission_cost(&centered[0], j)).collect();
-        let mut back: Vec<Vec<usize>> = Vec::with_capacity(measurements.len());
-        for y in centered.iter().skip(1) {
+        let mut cost: Vec<f64> = (0..n)
+            .map(|j| self.emission_cost(centered.row(0), j))
+            .collect();
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(measurements.rows());
+        for epoch in 1..centered.rows() {
+            let y = centered.row(epoch);
             let mut new_cost = vec![f64::INFINITY; n];
             let mut back_row = vec![0usize; n];
             for j in 0..n {
                 let emit = self.emission_cost(y, j);
                 let mut best = f64::INFINITY;
                 let mut best_prev = 0usize;
-                for prev in 0..n {
+                for (prev, &prev_cost) in cost.iter().enumerate() {
                     let step_sq = self.dist_sq[(prev, j)];
                     // Hard gate on impossible jumps, soft penalty below.
                     if step_sq > max_step_sq {
                         continue;
                     }
-                    let c = cost[prev] + self.config.motion_weight * step_sq;
+                    let c = prev_cost + self.config.motion_weight * step_sq;
                     if c < best {
                         best = c;
                         best_prev = prev;
@@ -179,7 +176,7 @@ impl Tracker {
         }
 
         // Backtrack.
-        let mut path = Vec::with_capacity(measurements.len());
+        let mut path = Vec::with_capacity(measurements.rows());
         let mut cur = cost
             .iter()
             .enumerate()
@@ -236,9 +233,8 @@ mod tests {
         let track_err = mean(&per_epoch_errors(d, traj.cells(), &tracked));
 
         let localizer = Localizer::new(fp.clone(), LocalizerConfig::default());
-        let independent: Vec<usize> = measurements
-            .iter()
-            .map(|y| localizer.localize(y).unwrap().grid)
+        let independent: Vec<usize> = (0..measurements.rows())
+            .map(|k| localizer.localize(measurements.row(k)).unwrap().grid)
             .collect();
         let indep_err = mean(&per_epoch_errors(d, traj.cells(), &independent));
 
@@ -272,7 +268,8 @@ mod tests {
         let d = t.deployment();
         let tracker = Tracker::new(&fp, d, TrackerConfig::default()).unwrap();
         let y = t.online_measurement(25, 0.0, 55);
-        let path = tracker.track(std::slice::from_ref(&y)).unwrap();
+        let single = Matrix::from_rows(&[&y]);
+        let path = tracker.track(&single).unwrap();
         let localizer = Localizer::new(fp, LocalizerConfig::default());
         assert_eq!(path, vec![localizer.localize(&y).unwrap().grid]);
     }
@@ -282,8 +279,8 @@ mod tests {
         let (t, fp) = setup();
         let d = t.deployment();
         let tracker = Tracker::new(&fp, d, TrackerConfig::default()).unwrap();
-        assert!(tracker.track(&[]).is_err());
-        assert!(tracker.track(&[vec![0.0; 3]]).is_err());
+        assert!(tracker.track(&Matrix::zeros(0, 8)).is_err());
+        assert!(tracker.track(&Matrix::zeros(1, 3)).is_err());
         // Mismatched deployment rejected at construction.
         let lib = Testbed::new(Environment::library(), 1);
         assert!(Tracker::new(&fp, lib.deployment(), TrackerConfig::default()).is_err());

@@ -2,14 +2,18 @@
 
 use iupdater_core::config::{CouplingMode, ScalingMode};
 use iupdater_core::self_augmented::{Solver, SolverInputs};
-use iupdater_core::{decrease, neighbors, similarity, omp, UpdaterConfig};
+use iupdater_core::{decrease, neighbors, omp, similarity, UpdaterConfig};
 use iupdater_linalg::Matrix;
 use proptest::prelude::*;
 
 /// Strategy: a structured "fingerprint-like" matrix M x (M*per) with
 /// negative dBm values, smooth per-link dips and mild noise.
 fn fingerprint_strategy() -> impl Strategy<Value = (Matrix, usize)> {
-    (3usize..6, 4usize..8, prop::collection::vec(-1.0f64..1.0, 64))
+    (
+        3usize..6,
+        4usize..8,
+        prop::collection::vec(-1.0f64..1.0, 64),
+    )
         .prop_map(|(m, per, noise)| {
             let x = Matrix::from_fn(m, m * per, |i, j| {
                 let owner = j / per;

@@ -14,6 +14,7 @@ use iupdater_core::{decrease, neighbors, similarity, UpdaterConfig};
 use iupdater_linalg::Matrix;
 
 /// Eq. (18), recomputed from scratch.
+#[allow(clippy::too_many_arguments)]
 fn objective(
     l: &Matrix,
     r: &Matrix,

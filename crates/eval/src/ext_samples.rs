@@ -48,7 +48,8 @@ pub fn run() -> FigureResult {
     }
     fig.series
         .push(Series::from_points("reconstruction error [dB]", errors));
-    fig.series.push(Series::from_points("update labor [s]", costs));
+    fig.series
+        .push(Series::from_points("update labor [s]", costs));
     fig
 }
 
@@ -62,7 +63,10 @@ mod tests {
         // averaging, because the stable difference structure does the
         // denoising.
         let fig = run();
-        let errs = &fig.series_by_label("reconstruction error [dB]").unwrap().points;
+        let errs = &fig
+            .series_by_label("reconstruction error [dB]")
+            .unwrap()
+            .points;
         let err_at = |count: f64| {
             errs.iter()
                 .find(|p| p.0 == count)
@@ -89,6 +93,9 @@ mod tests {
         let cost_at = |count: f64| costs.iter().find(|p| p.0 == count).unwrap().1;
         let slope_a = (cost_at(10.0) - cost_at(5.0)) / 5.0;
         let slope_b = (cost_at(20.0) - cost_at(10.0)) / 10.0;
-        assert!((slope_a - slope_b).abs() < 1e-9, "labor must be linear in samples");
+        assert!(
+            (slope_a - slope_b).abs() < 1e-9,
+            "labor must be linear in samples"
+        );
     }
 }

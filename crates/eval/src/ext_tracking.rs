@@ -32,9 +32,13 @@ fn run_arm(
             .expect("track")
     } else {
         let localizer = Localizer::new(database.clone(), LocalizerConfig::default());
-        measurements
-            .iter()
-            .map(|y| localizer.localize(y).expect("localize").grid)
+        (0..measurements.rows())
+            .map(|k| {
+                localizer
+                    .localize(measurements.row(k))
+                    .expect("localize")
+                    .grid
+            })
             .collect()
     };
     walk.cells()

@@ -12,7 +12,8 @@ pub fn run() -> FigureResult {
     let trace = s
         .testbed()
         .synced_traces(&[(cell.0, grid)], 0.0, 200)
-        .remove(0);
+        .row(0)
+        .to_vec();
     let points: Vec<(f64, f64)> = trace
         .iter()
         .enumerate()

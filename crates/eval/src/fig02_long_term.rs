@@ -20,7 +20,12 @@ fn histogram(values: &[f64], lo: f64, hi: f64) -> Vec<(f64, f64)> {
     counts
         .iter()
         .enumerate()
-        .map(|(b, &c)| (lo + (b as f64 + 0.5) * BIN_DB, c as f64 / values.len() as f64))
+        .map(|(b, &c)| {
+            (
+                lo + (b as f64 + 0.5) * BIN_DB,
+                c as f64 / values.len() as f64,
+            )
+        })
         .collect()
 }
 
@@ -29,14 +34,21 @@ fn histogram(values: &[f64], lo: f64, hi: f64) -> Vec<(f64, f64)> {
 pub fn run() -> FigureResult {
     let s = Scenario::office();
     let grid = s.prior().location_index(0, 5);
-    let days = [("original time", 0.0), ("5 days later", 5.0), ("45 days later", 45.0)];
+    let days = [
+        ("original time", 0.0),
+        ("5 days later", 5.0),
+        ("45 days later", 45.0),
+    ];
 
     let traces: Vec<(String, Vec<f64>)> = days
         .iter()
         .map(|&(label, day)| {
             (
                 label.to_string(),
-                s.testbed().synced_traces(&[(0, grid)], day, SAMPLES).remove(0),
+                s.testbed()
+                    .synced_traces(&[(0, grid)], day, SAMPLES)
+                    .row(0)
+                    .to_vec(),
             )
         })
         .collect();
@@ -64,8 +76,10 @@ pub fn run() -> FigureResult {
         fig.series
             .push(Series::from_points(label.clone(), histogram(trace, lo, hi)));
         let m = iupdater_linalg::stats::mean(trace);
-        fig.notes
-            .push(format!("{label}: mean {m:.1} dBm (shift {:+.1} dB)", m - mean0));
+        fig.notes.push(format!(
+            "{label}: mean {m:.1} dBm (shift {:+.1} dB)",
+            m - mean0
+        ));
     }
     fig.notes
         .push("paper: shifts of ~2.5 dB after 5 days and ~6 dB after 45 days".into());
@@ -84,7 +98,11 @@ mod tests {
         let s = Scenario::office();
         let grid = s.prior().location_index(0, 5);
         let mean_at = |day: f64| {
-            let t = s.testbed().synced_traces(&[(0, grid)], day, SAMPLES).remove(0);
+            let t = s
+                .testbed()
+                .synced_traces(&[(0, grid)], day, SAMPLES)
+                .row(0)
+                .to_vec();
             iupdater_linalg::stats::mean(&t)
         };
         let m0 = mean_at(0.0);

@@ -24,24 +24,29 @@ pub fn run() -> FigureResult {
         let m = iupdater_linalg::stats::mean(v);
         v.iter().map(|x| x - m).collect()
     };
-    let raw = demean(&traces[0]);
+    let raw = demean(traces.row(0));
     let neighbor_diff: Vec<f64> = demean(
-        &traces[0]
+        &traces
+            .row(0)
             .iter()
-            .zip(&traces[1])
+            .zip(traces.row(1))
             .map(|(a, b)| a - b)
             .collect::<Vec<_>>(),
     );
     let link_diff: Vec<f64> = demean(
-        &traces[0]
+        &traces
+            .row(0)
             .iter()
-            .zip(&traces[2])
+            .zip(traces.row(2))
             .map(|(a, c)| a - c)
             .collect::<Vec<_>>(),
     );
 
     let to_points = |v: &[f64]| -> Vec<(f64, f64)> {
-        v.iter().enumerate().map(|(k, &y)| (k as f64 * 0.5, y)).collect()
+        v.iter()
+            .enumerate()
+            .map(|(k, &y)| (k as f64 * 0.5, y))
+            .collect()
     };
     let mut fig = FigureResult::new(
         "fig6",
@@ -49,7 +54,8 @@ pub fn run() -> FigureResult {
         "time [s]",
         "deviation [dB]",
     );
-    fig.series.push(Series::from_points("RSS readings", to_points(&raw)));
+    fig.series
+        .push(Series::from_points("RSS readings", to_points(&raw)));
     fig.series.push(Series::from_points(
         "RSS difference of neighboring locations",
         to_points(&neighbor_diff),
@@ -88,7 +94,10 @@ mod tests {
         let nd = std_of("RSS difference of neighboring locations");
         let ld = std_of("RSS difference of adjacent links");
         assert!(nd < raw, "neighbour diff std {nd} must be below raw {raw}");
-        assert!(ld < raw * 1.7, "link diff std {ld} should not blow up vs raw {raw}");
+        assert!(
+            ld < raw * 1.7,
+            "link diff std {ld} should not blow up vs raw {raw}"
+        );
     }
 
     #[test]

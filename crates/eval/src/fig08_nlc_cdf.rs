@@ -25,14 +25,18 @@ pub fn run() -> FigureResult {
         let ecdf = Ecdf::new(&vals);
         fig.series.push(Series::from_points(
             label.clone(),
-            ecdf.curve(50).into_iter().map(|(x, p)| (x, p * 100.0)).collect(),
+            ecdf.curve(50)
+                .into_iter()
+                .map(|(x, p)| (x, p * 100.0))
+                .collect(),
         ));
         fig.notes.push(format!(
             "{label}: P(NLC < 0.2) = {:.1} %",
             ecdf.eval(0.2) * 100.0
         ));
     }
-    fig.notes.push("paper: over 90 % of NLC values below 0.2".into());
+    fig.notes
+        .push("paper: over 90 % of NLC values below 0.2".into());
     fig
 }
 

@@ -25,7 +25,10 @@ pub fn run() -> FigureResult {
         let ecdf = Ecdf::new(&vals);
         fig.series.push(Series::from_points(
             label.clone(),
-            ecdf.curve(50).into_iter().map(|(x, p)| (x, p * 100.0)).collect(),
+            ecdf.curve(50)
+                .into_iter()
+                .map(|(x, p)| (x, p * 100.0))
+                .collect(),
         ));
         fig.notes.push(format!(
             "{label}: P(ALS < 0.4) = {:.1} %",

@@ -32,7 +32,11 @@ pub fn render_layout(env: &Environment, reference_locations: &[usize]) -> String
         let mut row = String::from("T ");
         for u in 0..per {
             let j = i * per + u;
-            row.push(if reference_locations.contains(&j) { 'R' } else { '.' });
+            row.push(if reference_locations.contains(&j) {
+                'R'
+            } else {
+                '.'
+            });
             row.push(' ');
         }
         row.push('X');
@@ -86,7 +90,11 @@ mod tests {
                 .iter()
                 .find(|s| s.label.starts_with(label_prefix))
                 .expect("series");
-            (s.points[0].1 as usize, s.points[1].1 as usize, s.points[2].1 as usize)
+            (
+                s.points[0].1 as usize,
+                s.points[1].1 as usize,
+                s.points[2].1 as usize,
+            )
         };
         assert_eq!(counts("office"), (8, 96, 8));
         let (lib_links, lib_locs, lib_refs) = counts("library");

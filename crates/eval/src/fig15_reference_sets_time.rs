@@ -27,7 +27,10 @@ pub fn run() -> FigureResult {
         "timestamp",
         "reconstruction error [dB]",
     );
-    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    fig.x_labels = TIMESTAMPS
+        .iter()
+        .map(|&(l, _)| format!("{l} later"))
+        .collect();
     for (label, locations) in &arms {
         let ys: Vec<f64> = TIMESTAMPS
             .iter()
@@ -55,7 +58,10 @@ mod tests {
         let eight = avg("8 reference locations (iUpdater)");
         let seven = avg("7 reference locations");
         let random11 = avg("11 random locations");
-        assert!(seven > eight, "7 refs ({seven}) must average worse than 8 ({eight})");
+        assert!(
+            seven > eight,
+            "7 refs ({seven}) must average worse than 8 ({eight})"
+        );
         assert!(
             random11 > eight,
             "11 random ({random11}) must average worse than 8 MIC ({eight})"

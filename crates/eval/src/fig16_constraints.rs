@@ -13,7 +13,10 @@ pub fn run() -> FigureResult {
     let s = Scenario::office();
     let arms: Vec<(&str, UpdaterConfig)> = vec![
         ("RSVD", UpdaterConfig::basic_rsvd()),
-        ("RSVD + Constraint 1", UpdaterConfig::with_constraint1_only()),
+        (
+            "RSVD + Constraint 1",
+            UpdaterConfig::with_constraint1_only(),
+        ),
         (
             "RSVD + Constraint 1 + Constraint 2",
             UpdaterConfig::default(),
@@ -26,7 +29,10 @@ pub fn run() -> FigureResult {
         "timestamp",
         "reconstruction error [dB]",
     );
-    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    fig.x_labels = TIMESTAMPS
+        .iter()
+        .map(|&(l, _)| format!("{l} later"))
+        .collect();
     for (label, cfg) in arms {
         let updater = Updater::new(s.prior().clone(), cfg).expect("updater");
         let ys: Vec<f64> = TIMESTAMPS

@@ -24,7 +24,13 @@ fn reconstruct_fraction(
     let x = surveyed.matrix();
     let (m, n) = x.shape();
     let mut rng = StdRng::seed_from_u64(seed);
-    let b = Matrix::from_fn(m, n, |_, _| if rng.gen::<f64>() < fraction { 1.0 } else { 0.0 });
+    let b = Matrix::from_fn(m, n, |_, _| {
+        if rng.gen::<f64>() < fraction {
+            1.0
+        } else {
+            0.0
+        }
+    });
     let x_b = b.hadamard(x).expect("shape");
     let cfg = UpdaterConfig {
         use_constraint1: false,
@@ -38,8 +44,13 @@ fn reconstruct_fraction(
         per: surveyed.locations_per_link(),
         warm_start: Some(x.clone()),
     };
-    let report = Solver::new(inputs, cfg).expect("solver").solve().expect("solve");
-    surveyed.with_matrix(report.reconstruction()).expect("shape")
+    let report = Solver::new(inputs, cfg)
+        .expect("solver")
+        .solve()
+        .expect("solve");
+    surveyed
+        .with_matrix(report.reconstruction())
+        .expect("shape")
 }
 
 /// Regenerates Fig. 17: mean localization error of 80 % + C2, 50 % + C2
@@ -52,7 +63,10 @@ pub fn run() -> FigureResult {
         "timestamp",
         "localization error [m]",
     );
-    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    fig.x_labels = TIMESTAMPS
+        .iter()
+        .map(|&(l, _)| format!("{l} later"))
+        .collect();
     let mut y80 = Vec::new();
     let mut y50 = Vec::new();
     let mut y100 = Vec::new();
@@ -68,9 +82,12 @@ pub fn run() -> FigureResult {
         y50.push(mean(&s.localization_errors(&rec50, day, 2, salt)));
         y100.push(mean(&s.localization_errors(&surveyed, day, 2, salt)));
     }
-    fig.series.push(Series::from_ys("80% data + Constraint 2", &y80));
-    fig.series.push(Series::from_ys("50% data + Constraint 2", &y50));
-    fig.series.push(Series::from_ys("Measured (ground truth)", &y100));
+    fig.series
+        .push(Series::from_ys("80% data + Constraint 2", &y80));
+    fig.series
+        .push(Series::from_ys("50% data + Constraint 2", &y50));
+    fig.series
+        .push(Series::from_ys("Measured (ground truth)", &y100));
     fig.notes.push(
         "paper: 80 % + constraint even beats 100 % measured; 50 % + constraint matches it".into(),
     );

@@ -20,8 +20,10 @@ pub fn run() -> FigureResult {
         let rec = s.reconstruct(day);
         let errs = reconstruction_errors(rec.matrix(), &s.ground_truth(day)).expect("shapes");
         let ecdf = Ecdf::new(&errs);
-        fig.series
-            .push(Series::from_points(format!("{label} later"), ecdf.curve(60)));
+        fig.series.push(Series::from_points(
+            format!("{label} later"),
+            ecdf.curve(60),
+        ));
         fig.notes
             .push(format!("{label} later: median {:.2} dB", median(&errs)));
     }

@@ -14,7 +14,10 @@ pub fn run() -> FigureResult {
         "timestamp",
         "reconstruction error [dB]",
     );
-    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    fig.x_labels = TIMESTAMPS
+        .iter()
+        .map(|&(l, _)| format!("{l} later"))
+        .collect();
     for (kind, scenario) in Scenario::all_environments() {
         let ys: Vec<f64> = TIMESTAMPS
             .iter()

@@ -21,12 +21,7 @@ pub fn run() -> FigureResult {
     );
     let iupdater: Vec<(f64, f64)> = ks
         .iter()
-        .map(|&k| {
-            (
-                k as f64,
-                labor.survey_time_hours(scaling.links_at(k), 5),
-            )
-        })
+        .map(|&k| (k as f64, labor.survey_time_hours(scaling.links_at(k), 5)))
         .collect();
     let traditional: Vec<(f64, f64)> = ks
         .iter()
@@ -62,7 +57,11 @@ mod tests {
         // Doubling k roughly quadruples traditional cost...
         let t2 = tr.points[0].1; // k = 2
         let t4 = tr.points[2].1; // k = 4
-        assert!((t4 / t2 - 4.0).abs() < 0.5, "traditional growth {}", t4 / t2);
+        assert!(
+            (t4 / t2 - 4.0).abs() < 0.5,
+            "traditional growth {}",
+            t4 / t2
+        );
         // ...but only doubles iUpdater's.
         let i2 = iu.points[0].1;
         let i4 = iu.points[2].1;

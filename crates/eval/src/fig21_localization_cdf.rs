@@ -43,7 +43,8 @@ pub fn run() -> FigureResult {
     ] {
         let ecdf = Ecdf::new(errs);
         fig.series.push(Series::from_points(label, ecdf.curve(60)));
-        fig.notes.push(format!("{label}: median {:.2} m", median(errs)));
+        fig.notes
+            .push(format!("{label}: median {:.2} m", median(errs)));
     }
     fig.notes
         .push("paper medians: 0.78 m / 1.1 m / (iUpdater ~54 % better than stale)".into());

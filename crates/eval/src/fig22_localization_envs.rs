@@ -22,7 +22,10 @@ pub fn run() -> FigureResult {
         "timestamp",
         "localization error [m]",
     );
-    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    fig.x_labels = TIMESTAMPS
+        .iter()
+        .map(|&(l, _)| format!("{l} later"))
+        .collect();
     for (kind, s) in Scenario::all_environments() {
         let mut gt = Vec::new();
         let mut iu = Vec::new();
@@ -35,8 +38,10 @@ pub fn run() -> FigureResult {
             iu.push(mean(&s.localization_errors(&rec, day, STRIDE, salt)));
             stale.push(mean(&s.localization_errors(s.prior(), day, STRIDE, salt)));
         }
-        fig.series.push(Series::from_ys(format!("{kind}: Groundtruth"), &gt));
-        fig.series.push(Series::from_ys(format!("{kind}: iUpdater"), &iu));
+        fig.series
+            .push(Series::from_ys(format!("{kind}: Groundtruth"), &gt));
+        fig.series
+            .push(Series::from_ys(format!("{kind}: iUpdater"), &iu));
         fig.series
             .push(Series::from_ys(format!("{kind}: OMP w/o rec."), &stale));
     }

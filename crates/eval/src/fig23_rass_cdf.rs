@@ -40,7 +40,8 @@ pub fn run() -> FigureResult {
     ] {
         let ecdf = Ecdf::new(errs);
         fig.series.push(Series::from_points(label, ecdf.curve(60)));
-        fig.notes.push(format!("{label}: median {:.2} m", median(errs)));
+        fig.notes
+            .push(format!("{label}: median {:.2} m", median(errs)));
     }
     fig.notes.push("paper medians: 1.1 / 1.6 / 3.3 m".into());
     fig

@@ -18,7 +18,10 @@ pub fn run() -> FigureResult {
         "timestamp",
         "localization error [m]",
     );
-    fig.x_labels = TIMESTAMPS.iter().map(|&(l, _)| format!("{l} later")).collect();
+    fig.x_labels = TIMESTAMPS
+        .iter()
+        .map(|&(l, _)| format!("{l} later"))
+        .collect();
     let mut iu = Vec::new();
     let mut rass_rec = Vec::new();
     let mut rass_stale = Vec::new();
@@ -31,7 +34,8 @@ pub fn run() -> FigureResult {
     }
     fig.series.push(Series::from_ys("iUpdater", &iu));
     fig.series.push(Series::from_ys("RASS w/ rec.", &rass_rec));
-    fig.series.push(Series::from_ys("RASS w/o rec.", &rass_stale));
+    fig.series
+        .push(Series::from_ys("RASS w/o rec.", &rass_stale));
     fig
 }
 
@@ -49,8 +53,14 @@ mod tests {
         let iu = avg("iUpdater");
         let rec = avg("RASS w/ rec.");
         let stale = avg("RASS w/o rec.");
-        assert!(iu < rec, "iUpdater ({iu} m) should lead RASS w/ rec ({rec} m)");
-        assert!(rec < stale, "RASS w/ rec ({rec} m) should lead RASS w/o rec ({stale} m)");
+        assert!(
+            iu < rec,
+            "iUpdater ({iu} m) should lead RASS w/ rec ({rec} m)"
+        );
+        assert!(
+            rec < stale,
+            "RASS w/ rec ({rec} m) should lead RASS w/o rec ({stale} m)"
+        );
     }
 
     #[test]

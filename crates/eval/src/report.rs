@@ -94,7 +94,12 @@ impl FigureResult {
                 let _ = write!(out, "---|");
             }
             let _ = writeln!(out);
-            let rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+            let rows = self
+                .series
+                .iter()
+                .map(|s| s.points.len())
+                .max()
+                .unwrap_or(0);
             for r in 0..rows {
                 let x_desc = self
                     .x_labels
@@ -149,7 +154,8 @@ mod tests {
     fn sample() -> FigureResult {
         let mut f = FigureResult::new("figX", "Test figure", "time", "error");
         f.series.push(Series::from_ys("a", &[1.0, 2.0]));
-        f.series.push(Series::from_points("b", vec![(0.0, 3.0), (1.0, 4.0)]));
+        f.series
+            .push(Series::from_points("b", vec![(0.0, 3.0), (1.0, 4.0)]));
         f.x_labels = vec!["day 0".into(), "day 1".into()];
         f.notes.push("median 1.5".into());
         f

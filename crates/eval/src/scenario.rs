@@ -225,7 +225,7 @@ mod tests {
         let s = Scenario::office();
         let errs = s.localization_errors(s.prior(), 0.0, 8, 1);
         assert_eq!(errs.len(), 12);
-        assert!(errs.iter().all(|&e| e >= 0.0 && e < 15.0));
+        assert!(errs.iter().all(|&e| (0.0..15.0).contains(&e)));
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl Matrix {
     ///   matrix is not positive definite).
     pub fn cholesky(&self) -> Result<Cholesky> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows();
         let mut l = Matrix::zeros(n, n);
@@ -87,18 +89,16 @@ impl Cholesky {
         // Forward: L y = b.
         let mut y = b.to_vec();
         for i in 0..n {
-            let mut s = y[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * y[k];
-            }
-            y[i] = s / self.l[(i, i)];
+            let row = self.l.row(i);
+            let s = y[i] - Matrix::dot(&row[..i], &y[..i]);
+            y[i] = s / row[i];
         }
         // Backward: Lᵀ x = y.
         let mut x = y;
         for i in (0..n).rev() {
             let mut s = x[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }

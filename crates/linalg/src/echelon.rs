@@ -39,7 +39,9 @@ impl Matrix {
             return Err(LinalgError::InvalidArgument("echelon of empty matrix"));
         }
         if tol <= 0.0 {
-            return Err(LinalgError::InvalidArgument("echelon tolerance must be > 0"));
+            return Err(LinalgError::InvalidArgument(
+                "echelon tolerance must be > 0",
+            ));
         }
         let (m, n) = self.shape();
         let mut work = self.clone();
@@ -105,11 +107,7 @@ mod tests {
     #[test]
     fn duplicate_column_detected() {
         // col1 = col0, col2 independent.
-        let a = Matrix::from_rows(&[
-            &[1.0, 1.0, 0.0],
-            &[2.0, 2.0, 1.0],
-            &[3.0, 3.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[2.0, 2.0, 1.0], &[3.0, 3.0, 0.0]]);
         let e = a.column_echelon(1e-12).unwrap();
         assert_eq!(e.independent_cols, vec![0, 2]);
     }
@@ -117,11 +115,7 @@ mod tests {
     #[test]
     fn linear_combination_detected() {
         // col2 = col0 + col1.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 1.0],
-            &[1.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0], &[1.0, 1.0, 2.0]]);
         let e = a.column_echelon(1e-12).unwrap();
         assert_eq!(e.independent_cols, vec![0, 1]);
     }

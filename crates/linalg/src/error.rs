@@ -44,7 +44,10 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::Singular => write!(f, "matrix is singular"),
             LinalgError::NonConvergence { iterations } => {
-                write!(f, "algorithm did not converge within {iterations} iterations")
+                write!(
+                    f,
+                    "algorithm did not converge within {iterations} iterations"
+                )
             }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -80,7 +83,10 @@ mod tests {
     fn display_singular_and_convergence() {
         assert_eq!(LinalgError::Singular.to_string(), "matrix is singular");
         let e = LinalgError::NonConvergence { iterations: 7 };
-        assert_eq!(e.to_string(), "algorithm did not converge within 7 iterations");
+        assert_eq!(
+            e.to_string(),
+            "algorithm did not converge within 7 iterations"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 mod error;
 mod matrix;
 mod ops;
+mod view;
 
 pub mod cholesky;
 pub mod echelon;
@@ -49,6 +50,7 @@ pub mod truncated;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use view::{axpy_slice, scale_slice, MatrixView, MatrixViewMut};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

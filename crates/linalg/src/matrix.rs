@@ -86,7 +86,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -222,7 +226,9 @@ impl Matrix {
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + c])
+            .collect()
     }
 
     /// Overwrites column `c` with `values`.

@@ -33,7 +33,8 @@ impl Matrix {
         self.zip_with(other, "hadamard", |a, b| a * b)
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other` (cache-blocked i-k-j kernel; see
+    /// [`Matrix::matmul_into`] for the allocation-free variant).
     ///
     /// # Errors
     ///
@@ -46,23 +47,8 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let (m, k, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(m, n);
-        // i-k-j loop order: the inner loop walks contiguous rows of both
-        // `other` and `out`, which is significantly faster than i-j-k.
-        for i in 0..m {
-            for p in 0..k {
-                let a = self[(i, p)];
-                if a == 0.0 {
-                    continue;
-                }
-                let other_row = other.row(p);
-                let out_row = out.row_mut(i);
-                for j in 0..n {
-                    out_row[j] += a * other_row[j];
-                }
-            }
-        }
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into(other, &mut out)?;
         Ok(out)
     }
 
@@ -155,7 +141,8 @@ impl Add for &Matrix {
     /// Panics if the shapes differ; use [`Matrix::checked_add`] to handle
     /// the mismatch as an error.
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.checked_add(rhs).expect("matrix addition shape mismatch")
+        self.checked_add(rhs)
+            .expect("matrix addition shape mismatch")
     }
 }
 
@@ -167,7 +154,8 @@ impl Sub for &Matrix {
     /// Panics if the shapes differ; use [`Matrix::checked_sub`] to handle
     /// the mismatch as an error.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.checked_sub(rhs).expect("matrix subtraction shape mismatch")
+        self.checked_sub(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 

@@ -42,61 +42,52 @@ impl Matrix {
         }
         let (m, n) = self.shape();
         let k = m.min(n);
-        let mut r = self.clone();
-        // Q accumulated explicitly (m x m truncated to m x k at the end).
+        // Work on Rᵀ so each Householder reflection touches contiguous
+        // row slices instead of stride-n column walks (same numbers).
+        let mut rt = self.transpose(); // n x m; row j = column j of R
+                                       // Q accumulated explicitly (m x m truncated to m x k at the end).
         let mut q = Matrix::identity(m);
+        let mut v = vec![0.0; m];
 
         for col in 0..k {
             // Householder vector for column `col`, rows col..m.
-            let mut norm_sq = 0.0;
-            for i in col..m {
-                norm_sq += r[(i, col)] * r[(i, col)];
-            }
+            let pivot_col = rt.row(col);
+            let norm_sq: f64 = pivot_col[col..].iter().map(|x| x * x).sum();
             let norm = norm_sq.sqrt();
             if norm < f64::EPSILON {
                 continue;
             }
-            let alpha = if r[(col, col)] >= 0.0 { -norm } else { norm };
-            let mut v = vec![0.0; m];
-            v[col] = r[(col, col)] - alpha;
-            for i in (col + 1)..m {
-                v[i] = r[(i, col)];
-            }
+            let head = pivot_col[col];
+            let alpha = if head >= 0.0 { -norm } else { norm };
+            v[..col].fill(0.0);
+            v[col] = head - alpha;
+            v[col + 1..m].copy_from_slice(&pivot_col[col + 1..m]);
             let v_norm_sq: f64 = v[col..].iter().map(|x| x * x).sum();
             if v_norm_sq < f64::EPSILON * f64::EPSILON {
                 continue;
             }
             // Apply H = I - 2 v vᵀ / (vᵀv) to R (left) and accumulate into Q.
-            for j in col..self.cols() {
-                let mut dot = 0.0;
-                for i in col..m {
-                    dot += v[i] * r[(i, j)];
-                }
+            for j in col..n {
+                let row = rt.row_mut(j);
+                let dot = Matrix::dot(&v[col..m], &row[col..m]);
                 let f = 2.0 * dot / v_norm_sq;
-                for i in col..m {
-                    r[(i, j)] -= f * v[i];
-                }
+                crate::view::axpy_slice(-f, &v[col..m], &mut row[col..m]);
             }
             for j in 0..m {
-                let mut dot = 0.0;
-                for i in col..m {
-                    dot += v[i] * q[(j, i)];
-                }
+                let row = q.row_mut(j);
+                let dot = Matrix::dot(&v[col..m], &row[col..m]);
                 let f = 2.0 * dot / v_norm_sq;
-                for i in col..m {
-                    q[(j, i)] -= f * v[i];
-                }
+                crate::view::axpy_slice(-f, &v[col..m], &mut row[col..m]);
             }
         }
-        // Zero the strictly-lower triangle of R (numerical noise).
-        for i in 1..m.min(self.cols() + 1) {
-            for j in 0..i.min(self.cols()) {
-                r[(i, j)] = 0.0;
-            }
-        }
+        // Thin factors; the strictly-lower triangle of R is numerical
+        // noise and is dropped during the transpose-back.
         let q_thin = q.select_cols(&(0..k).collect::<Vec<_>>());
-        let r_thin = r.select_rows(&(0..k).collect::<Vec<_>>());
-        Ok(Qr { q: q_thin, r: r_thin })
+        let r_thin = Matrix::from_fn(k, n, |i, j| if j < i { 0.0 } else { rt[(j, i)] });
+        Ok(Qr {
+            q: q_thin,
+            r: r_thin,
+        })
     }
 
     /// Column-pivoted (rank-revealing) QR via modified Gram-Schmidt with
@@ -111,14 +102,17 @@ impl Matrix {
         }
         let (m, n) = self.shape();
         let k = m.min(n);
-        let mut work = self.clone(); // columns get orthogonalised in place
+        // Work on Aᵀ: column j of A is the contiguous row j of `workt`,
+        // so pivot swaps, normalisation and Gram-Schmidt updates are all
+        // slice operations (same numbers, cache-friendly layout).
+        let mut workt = self.transpose(); // n x m
         let mut perm: Vec<usize> = (0..n).collect();
-        let mut q = Matrix::zeros(m, k);
+        let mut qt = Matrix::zeros(k, m); // row s = q_s
         let mut r = Matrix::zeros(k, n);
 
         // Residual squared norms of each (permuted) column.
         let mut res: Vec<f64> = (0..n)
-            .map(|j| (0..m).map(|i| work[(i, j)] * work[(i, j)]).sum())
+            .map(|j| workt.row(j).iter().map(|x| x * x).sum())
             .collect();
 
         for step in 0..k {
@@ -134,11 +128,8 @@ impl Matrix {
             }
             // Swap columns `step` and `pivot` in work, perm, res, and R.
             if pivot != step {
-                for i in 0..m {
-                    let tmp = work[(i, step)];
-                    work[(i, step)] = work[(i, pivot)];
-                    work[(i, pivot)] = tmp;
-                }
+                let (a, b) = workt.rows_pair_mut(step, pivot);
+                a.swap_with_slice(b);
                 perm.swap(step, pivot);
                 res.swap(step, pivot);
                 for i in 0..step {
@@ -148,31 +139,30 @@ impl Matrix {
                 }
             }
             // Normalise the pivot column -> q_step.
-            let norm = (0..m)
-                .map(|i| work[(i, step)] * work[(i, step)])
-                .sum::<f64>()
-                .sqrt();
+            let pivot_col = workt.row(step);
+            let norm = pivot_col.iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm < f64::EPSILON {
                 break;
             }
-            for i in 0..m {
-                q[(i, step)] = work[(i, step)] / norm;
+            for (qi, &wi) in qt.row_mut(step).iter_mut().zip(pivot_col) {
+                *qi = wi / norm;
             }
             r[(step, step)] = norm;
             // Orthogonalise remaining columns against q_step.
             for j in (step + 1)..n {
-                let mut dot = 0.0;
-                for i in 0..m {
-                    dot += q[(i, step)] * work[(i, j)];
-                }
+                let q_step = qt.row(step);
+                let col_j = workt.row_mut(j);
+                let dot = Matrix::dot(q_step, col_j);
                 r[(step, j)] = dot;
-                for i in 0..m {
-                    work[(i, j)] -= dot * q[(i, step)];
-                }
+                crate::view::axpy_slice(-dot, q_step, col_j);
                 res[j] = (res[j] - dot * dot).max(0.0);
             }
         }
-        Ok(PivotedQr { q, r, perm })
+        Ok(PivotedQr {
+            q: qt.transpose(),
+            r,
+            perm,
+        })
     }
 
     /// Numerical rank: the number of diagonal entries of the pivoted-QR
@@ -192,7 +182,9 @@ impl Matrix {
         if r00 == 0.0 {
             return Ok(0);
         }
-        Ok((0..k).take_while(|&i| qr.r[(i, i)].abs() > tol * r00).count())
+        Ok((0..k)
+            .take_while(|&i| qr.r[(i, i)].abs() > tol * r00)
+            .count())
     }
 }
 
@@ -288,11 +280,7 @@ mod tests {
     #[test]
     fn leading_columns_identify_independent_set() {
         // Columns 0 and 2 independent; column 1 = 2 * column 0.
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[1.0, 2.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 0.0, 1.0], &[1.0, 2.0, 1.0]]);
         let pqr = a.pivoted_qr().unwrap();
         let lead = pqr.leading_columns(2);
         // The chosen two columns must span the column space: col 1 is

@@ -125,7 +125,10 @@ mod tests {
                 for delta in [-1e-4, 1e-4] {
                     let mut p = e.clone();
                     p[(di, dj)] += delta;
-                    assert!(obj(&p) >= base - 1e-9, "perturbation improved prox objective");
+                    assert!(
+                        obj(&p) >= base - 1e-9,
+                        "perturbation improved prox objective"
+                    );
                 }
             }
         }

@@ -30,7 +30,9 @@ impl Matrix {
     /// - [`LinalgError::Singular`] if a pivot is (numerically) zero.
     pub fn lu(&self) -> Result<Lu> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows();
         let mut lu = self.clone();
@@ -52,25 +54,25 @@ impl Matrix {
                 return Err(LinalgError::Singular);
             }
             if pivot_row != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(pivot_row, j)];
-                    lu[(pivot_row, j)] = tmp;
-                }
+                let (a, b) = lu.rows_pair_mut(k, pivot_row);
+                a.swap_with_slice(b);
                 perm.swap(k, pivot_row);
                 perm_sign = -perm_sign;
             }
             let pivot = lu[(k, k)];
             for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                for j in (k + 1)..n {
-                    let s = lu[(k, j)];
-                    lu[(i, j)] -= factor * s;
-                }
+                // Contiguous row elimination: row_i[k+1..] -= f * row_k[k+1..].
+                let (row_k, row_i) = lu.rows_pair_mut(k, i);
+                let factor = row_i[k] / pivot;
+                row_i[k] = factor;
+                crate::view::axpy_slice(-factor, &row_k[k + 1..], &mut row_i[k + 1..]);
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Solves `self * x = b` for a single right-hand side.
@@ -131,7 +133,9 @@ impl Matrix {
     /// matrix returns `Ok(0.0)`.
     pub fn det(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         match self.lu() {
             Ok(lu) => {
@@ -159,20 +163,15 @@ impl Lu {
         // Apply permutation, then forward-substitute L y = P b.
         let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
         for i in 1..n {
-            let mut s = y[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * y[j];
-            }
-            y[i] = s;
+            let row = self.lu.row(i);
+            y[i] -= Matrix::dot(&row[..i], &y[..i]);
         }
         // Back-substitute U x = y.
         let mut x = y;
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s / self.lu[(i, i)];
+            let row = self.lu.row(i);
+            let s = x[i] - Matrix::dot(&row[i + 1..], &x[i + 1..]);
+            x[i] = s / row[i];
         }
         x
     }

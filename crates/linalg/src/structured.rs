@@ -34,8 +34,7 @@ impl Matrix {
     /// Panics if `first_col[0] != first_row[0]`.
     pub fn toeplitz(first_col: &[f64], first_row: &[f64]) -> Matrix {
         assert!(
-            first_col.is_empty() && first_row.is_empty()
-                || first_col[0] == first_row[0],
+            first_col.is_empty() && first_row.is_empty() || first_col[0] == first_row[0],
             "Toeplitz corner entries must agree"
         );
         Matrix::from_fn(first_col.len(), first_row.len(), |i, j| {
@@ -60,7 +59,9 @@ impl Matrix {
 
     /// Extracts the main diagonal.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows().min(self.cols())).map(|i| self[(i, i)]).collect()
+        (0..self.rows().min(self.cols()))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Sum of the main diagonal (trace).
@@ -89,11 +90,7 @@ mod tests {
     #[test]
     fn toeplitz_from_col_row() {
         let t = Matrix::toeplitz(&[1.0, 2.0, 3.0], &[1.0, 4.0, 5.0]);
-        let expected = Matrix::from_rows(&[
-            &[1.0, 4.0, 5.0],
-            &[2.0, 1.0, 4.0],
-            &[3.0, 2.0, 1.0],
-        ]);
+        let expected = Matrix::from_rows(&[&[1.0, 4.0, 5.0], &[2.0, 1.0, 4.0], &[3.0, 2.0, 1.0]]);
         assert_eq!(t, expected);
     }
 

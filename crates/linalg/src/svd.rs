@@ -52,18 +52,17 @@ impl Matrix {
             });
         }
 
-        // One-sided Jacobi on Aᵀ (n x m, n >= m ... careful): we rotate
-        // *columns* of a working copy W = Aᵀ? Classic formulation: for
-        // m <= n, run on W = A with rotations applied to ROWS is awkward;
-        // instead operate on C = Aᵀ (cols = m <= rows = n) and rotate its
-        // columns to orthogonality: C = A' with A' = W V, then
-        // Aᵀ = W,  W's columns -> σ_i u_i ... Keep it simple: factor
-        // B = self.transpose() (n x m, n >= m), orthogonalise B's columns:
-        // B V = Q diag(σ)  =>  B = Q diag(σ) Vᵀ  =>  A = Bᵀ = V diag(σ) Qᵀ.
-        let b = self.transpose(); // n x m, n >= m
-        let (n, m) = b.shape();
-        let mut w = b; // columns will converge to σ_i q_i
-        let mut v = Matrix::identity(m); // accumulates rotations
+        // One-sided Jacobi on B = Aᵀ (n x m, n >= m): orthogonalise B's
+        // columns so that B V = Q diag(σ), i.e. B = Q diag(σ) Vᵀ and
+        // A = Bᵀ = V diag(σ) Qᵀ. The working copy is stored TRANSPOSED
+        // (`wt = Bᵀ = A`): column p of B is the contiguous row p of
+        // `wt`, so every rotation is a pair of slice operations instead
+        // of a stride-m column walk. Same numbers, cache-friendly
+        // layout (the Layer-1 refactor of this crate).
+        let m = self.rows(); // number of columns being orthogonalised
+        let n = self.cols(); // their length
+        let mut wt = self.clone(); // row p = (σ_p q_p)ᵀ at convergence
+        let mut vt = Matrix::identity(m); // row p = column p of V
 
         let eps = f64::EPSILON;
         let tol = 1e-14_f64;
@@ -72,16 +71,18 @@ impl Matrix {
             let mut off = 0.0_f64;
             for p in 0..m {
                 for q in (p + 1)..m {
-                    // Compute the 2x2 Gram entries for columns p, q.
+                    // 2x2 Gram entries of columns p, q (= rows of wt).
                     let mut alpha = 0.0;
                     let mut beta = 0.0;
                     let mut gamma = 0.0;
-                    for i in 0..n {
-                        let wp = w[(i, p)];
-                        let wq = w[(i, q)];
-                        alpha += wp * wp;
-                        beta += wq * wq;
-                        gamma += wp * wq;
+                    {
+                        let wp = wt.row(p);
+                        let wq = wt.row(q);
+                        for i in 0..n {
+                            alpha += wp[i] * wp[i];
+                            beta += wq[i] * wq[i];
+                            gamma += wp[i] * wq[i];
+                        }
                     }
                     if gamma.abs() <= tol * (alpha * beta).sqrt().max(eps) {
                         continue;
@@ -92,17 +93,17 @@ impl Matrix {
                     let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = c * t;
-                    for i in 0..n {
-                        let wp = w[(i, p)];
-                        let wq = w[(i, q)];
-                        w[(i, p)] = c * wp - s * wq;
-                        w[(i, q)] = s * wp + c * wq;
+                    let (wp, wq) = wt.rows_pair_mut(p, q);
+                    for (a, b) in wp.iter_mut().zip(wq.iter_mut()) {
+                        let (x, y) = (*a, *b);
+                        *a = c * x - s * y;
+                        *b = s * x + c * y;
                     }
-                    for i in 0..m {
-                        let vp = v[(i, p)];
-                        let vq = v[(i, q)];
-                        v[(i, p)] = c * vp - s * vq;
-                        v[(i, q)] = s * vp + c * vq;
+                    let (vp, vq) = vt.rows_pair_mut(p, q);
+                    for (a, b) in vp.iter_mut().zip(vq.iter_mut()) {
+                        let (x, y) = (*a, *b);
+                        *a = c * x - s * y;
+                        *b = s * x + c * y;
                     }
                 }
             }
@@ -117,49 +118,50 @@ impl Matrix {
             let mut worst: f64 = 0.0;
             for p in 0..m {
                 for q in (p + 1)..m {
+                    let wp = wt.row(p);
+                    let wq = wt.row(q);
                     let mut alpha = 0.0;
                     let mut beta = 0.0;
                     let mut gamma = 0.0;
                     for i in 0..n {
-                        alpha += w[(i, p)] * w[(i, p)];
-                        beta += w[(i, q)] * w[(i, q)];
-                        gamma += w[(i, p)] * w[(i, q)];
+                        alpha += wp[i] * wp[i];
+                        beta += wq[i] * wq[i];
+                        gamma += wp[i] * wq[i];
                     }
                     worst = worst.max(gamma.abs() / (alpha * beta).sqrt().max(eps));
                 }
             }
             if worst > 1e-8 {
-                return Err(LinalgError::NonConvergence { iterations: MAX_SWEEPS });
+                return Err(LinalgError::NonConvergence {
+                    iterations: MAX_SWEEPS,
+                });
             }
         }
 
-        // Extract singular values (column norms of W) and normalise.
+        // Extract singular values (row norms of wt) and normalise.
         let mut order: Vec<usize> = (0..m).collect();
         let mut sigmas: Vec<f64> = (0..m)
-            .map(|j| (0..n).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
+            .map(|j| wt.row(j).iter().map(|x| x * x).sum::<f64>().sqrt())
             .collect();
         order.sort_by(|&a, &b| sigmas[b].total_cmp(&sigmas[a]));
 
-        let mut u_mat = Matrix::zeros(self.rows(), m); // = V of B (m x m) reordered -> but A = V_b Σ Qᵀ
-        let mut v_mat = Matrix::zeros(self.cols(), m); // = Q (n x m)
+        // A = V diag(σ) Qᵀ: left singular vectors of A are the columns
+        // of V (rows of vt), right singular vectors the normalised
+        // columns of B (rows of wt).
+        let mut u_mat = Matrix::zeros(self.rows(), m);
+        let mut v_mat = Matrix::zeros(self.cols(), m);
         let mut s_sorted = Vec::with_capacity(m);
         for (k, &j) in order.iter().enumerate() {
             let sigma = sigmas[j];
             s_sorted.push(sigma);
-            // A = Bᵀ = V_b diag(σ) Qᵀ where B = Q diag(σ) V_bᵀ.
-            // Column j of V (accumulated) is the j-th right-singular vector
-            // of B = left-singular of A. Column j of normalised W is q_j =
-            // right-singular vector of A... wait: B = W_final * V? No:
-            // W = B * V (we applied rotations on the right), and W has
-            // orthogonal columns: W = Q diag(σ). So B = Q diag(σ) Vᵀ.
-            // A = Bᵀ = V diag(σ) Qᵀ: left singular vectors of A are the
-            // columns of V, right singular vectors are the columns of Q.
+            let vj = vt.row(j);
             for i in 0..self.rows() {
-                u_mat[(i, k)] = v[(i, j)];
+                u_mat[(i, k)] = vj[i];
             }
             if sigma > eps {
+                let wj = wt.row(j);
                 for i in 0..self.cols() {
-                    v_mat[(i, k)] = w[(i, j)] / sigma;
+                    v_mat[(i, k)] = wj[i] / sigma;
                 }
             }
         }
@@ -318,7 +320,10 @@ mod tests {
                 .map(|s| s * s)
                 .sum::<f64>()
                 .sqrt();
-            assert!((err - expected).abs() < 1e-8, "rank {r}: {err} vs {expected}");
+            assert!(
+                (err - expected).abs() < 1e-8,
+                "rank {r}: {err} vs {expected}"
+            );
         }
     }
 

@@ -49,7 +49,9 @@ impl Matrix {
     /// - Propagates QR errors (cannot occur for finite inputs).
     pub fn truncated_svd(&self, k: usize, opts: &TruncatedSvdOptions) -> Result<Svd> {
         if self.is_empty() {
-            return Err(LinalgError::InvalidArgument("truncated_svd of empty matrix"));
+            return Err(LinalgError::InvalidArgument(
+                "truncated_svd of empty matrix",
+            ));
         }
         if k == 0 {
             return Err(LinalgError::InvalidArgument("k must be >= 1"));

@@ -5,19 +5,17 @@ use proptest::prelude::*;
 
 /// Strategy: a matrix with shape in [1, max_dim]^2 and entries in [-10, 10].
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim)
-        .prop_flat_map(|(r, c)| {
-            prop::collection::vec(-10.0f64..10.0, r * c)
-                .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
-        })
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
 }
 
 fn square_matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim)
-        .prop_flat_map(|n| {
-            prop::collection::vec(-10.0f64..10.0, n * n)
-                .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
-        })
+    (1..=max_dim).prop_flat_map(|n| {
+        prop::collection::vec(-10.0f64..10.0, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
+    })
 }
 
 proptest! {
@@ -182,6 +180,75 @@ proptest! {
         let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn view_matmul_matches_owned(m in matrix_strategy(8)) {
+        // Whole-matrix views multiply exactly like the owned kernel.
+        let b = m.transpose();
+        let owned = m.matmul(&b).unwrap();
+        let viewed = m.view().matmul(&b.view()).unwrap();
+        prop_assert_eq!(&viewed, &owned);
+        // And matmul_into produces the same bits without allocating.
+        let mut out = iupdater_linalg::Matrix::zeros(m.rows(), m.rows());
+        m.matmul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(&out, &owned);
+    }
+
+    #[test]
+    fn block_view_matches_owned_copy(m in matrix_strategy(8), fr in 0.0f64..1.0, fc in 0.0f64..1.0) {
+        // A strided sub-block behaves exactly like its owned copy.
+        let r0 = ((m.rows() - 1) as f64 * fr) as usize;
+        let c0 = ((m.cols() - 1) as f64 * fc) as usize;
+        let block = m.block_view(r0..m.rows(), c0..m.cols());
+        let owned = block.to_matrix();
+        prop_assert_eq!(block.shape(), owned.shape());
+        for i in 0..owned.rows() {
+            prop_assert_eq!(block.row(i), owned.row(i));
+        }
+        // (row-block summation order differs from the flat owned sum,
+        // so compare within round-off)
+        let scale = owned.frobenius_norm_sq().max(1.0);
+        prop_assert!((block.frobenius_norm_sq() - owned.frobenius_norm_sq()).abs() <= 1e-12 * scale);
+        // Strided x strided multiply == owned x owned multiply.
+        let bt = m.transpose();
+        let rhs = bt.block_view(c0..m.cols(), 0..bt.cols());
+        let via_views = block.matmul(&rhs).unwrap();
+        let via_owned = owned.matmul(&rhs.to_matrix()).unwrap();
+        prop_assert!(via_views.approx_eq(&via_owned, 0.0));
+    }
+
+    #[test]
+    fn axpy_matches_scale_add(m in matrix_strategy(7), alpha in -3.0f64..3.0) {
+        let other = m.map(|x| x.cos());
+        let expected = m.checked_add(&other.scale(alpha)).unwrap();
+        let mut inplace = m.clone();
+        inplace.axpy(alpha, &other).unwrap();
+        prop_assert!(inplace.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn gram_into_matches_gram(m in matrix_strategy(7)) {
+        let mut out = iupdater_linalg::Matrix::zeros(m.cols(), m.cols());
+        m.gram_into(&mut out).unwrap();
+        prop_assert_eq!(out, m.gram());
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose(m in matrix_strategy(7)) {
+        let other = m.map(|x| (x * 0.5).sin());
+        let mut out = iupdater_linalg::Matrix::zeros(m.rows(), other.rows());
+        m.matmul_bt_into(&other, &mut out).unwrap();
+        let expected = m.matmul(&other.transpose()).unwrap();
+        prop_assert!(out.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn add_outer_matches_outer_product(v in prop::collection::vec(-5.0f64..5.0, 1..8), alpha in -2.0f64..2.0) {
+        let mut acc = iupdater_linalg::Matrix::zeros(v.len(), v.len());
+        acc.add_outer(alpha, &v);
+        let expected = iupdater_linalg::Matrix::outer(&v, &v).scale(alpha);
+        prop_assert!(acc.approx_eq(&expected, 1e-12));
     }
 
     #[test]

@@ -41,7 +41,12 @@ impl Testbed {
     /// `seed`.
     pub fn new(env: Environment, seed: u64) -> Self {
         let deployment = Deployment::new(&env);
-        let drift = DriftProcess::generate(env.drift, env.num_links, DRIFT_HORIZON_DAYS, seed ^ 0x5eed_d41f);
+        let drift = DriftProcess::generate(
+            env.drift,
+            env.num_links,
+            DRIFT_HORIZON_DAYS,
+            seed ^ 0x5eed_d41f,
+        );
         let multipath =
             MultipathField::generate(env.multipath, env.width_m, env.height_m, seed ^ 0x0b5e55ed);
         let lambda = wavelength(env.pathloss.freq_hz);
@@ -103,7 +108,8 @@ impl Testbed {
         let pos = self.deployment.location(j);
         let attenuation = self.env.target.attenuation_db(link, pos, self.lambda);
         let multipath = self.multipath.with_target_db(link, pos, day);
-        self.baseline_rss[i] + self.link_gain_db[i] - attenuation + multipath
+        self.baseline_rss[i] + self.link_gain_db[i] - attenuation
+            + multipath
             + self.drift.drift_db(i, day)
     }
 
@@ -204,7 +210,10 @@ impl Testbed {
             .map(|i| {
                 let mut noise = NoiseProcess::new(
                     self.env.noise,
-                    self.seed ^ probe_seed.wrapping_add((i as u64) << 32).wrapping_add(j as u64),
+                    self.seed
+                        ^ probe_seed
+                            .wrapping_add((i as u64) << 32)
+                            .wrapping_add(j as u64),
                 );
                 // Warm the AR(1) state so the sample is stationary.
                 for _ in 0..8 {
@@ -232,7 +241,12 @@ impl Testbed {
     }
 
     /// One noisy online measurement vector with several targets present.
-    pub fn online_measurement_multi(&self, targets: &[usize], day: f64, probe_seed: u64) -> Vec<f64> {
+    pub fn online_measurement_multi(
+        &self,
+        targets: &[usize],
+        day: f64,
+        probe_seed: u64,
+    ) -> Vec<f64> {
         (0..self.deployment.num_links())
             .map(|i| {
                 let mut noise = NoiseProcess::new(
@@ -262,7 +276,9 @@ impl Testbed {
     /// 100 s trace is `n = 200` at 0.5 s).
     pub fn rss_trace(&self, i: usize, j: usize, day: f64, n: usize) -> Vec<f64> {
         let mut noise = self.noise_process(i, day);
-        (0..n).map(|_| self.sample_rss(i, j, day, &mut noise)).collect()
+        (0..n)
+            .map(|_| self.sample_rss(i, j, day, &mut noise))
+            .collect()
     }
 
     /// Samples several (link, grid) cells at the *same* instants for `n`
@@ -270,8 +286,9 @@ impl Testbed {
     /// shared across links (RF interference is broadcast, which is why
     /// adjacent-link RSS *differences* stay stable — Obs. 3 / Fig. 6).
     ///
-    /// Returns one trace per requested cell.
-    pub fn synced_traces(&self, cells: &[(usize, usize)], day: f64, n: usize) -> Vec<Vec<f64>> {
+    /// Returns one trace per requested cell, as the rows of a
+    /// `cells.len() x n` matrix.
+    pub fn synced_traces(&self, cells: &[(usize, usize)], day: f64, n: usize) -> Matrix {
         let mut link_noise: std::collections::HashMap<usize, NoiseProcess> = cells
             .iter()
             .map(|&(i, _)| {
@@ -291,11 +308,10 @@ impl Testbed {
                 )
             })
             .collect();
-        let mut burst_rng = StdRng::seed_from_u64(
-            self.seed ^ 0xb0b5_7ead ^ ((day * 64.0).round() as i64 as u64),
-        );
-        let mut traces: Vec<Vec<f64>> = vec![Vec::with_capacity(n); cells.len()];
-        for _ in 0..n {
+        let mut burst_rng =
+            StdRng::seed_from_u64(self.seed ^ 0xb0b5_7ead ^ ((day * 64.0).round() as i64 as u64));
+        let mut traces = Matrix::zeros(cells.len(), n);
+        for tick in 0..n {
             // Shared burst for this instant.
             let burst = if burst_rng.gen::<f64>() < self.env.noise.burst_prob * 2.0 {
                 -(0.5 + burst_rng.gen::<f64>() * (self.env.noise.burst_max_db - 0.5).max(0.0))
@@ -308,7 +324,7 @@ impl Testbed {
                     .get_mut(&i)
                     .expect("process inserted above")
                     .next_sample();
-                traces[k].push(quantize(clean + jitter + burst, self.env.noise.quantize_db));
+                traces[(k, tick)] = quantize(clean + jitter + burst, self.env.noise.quantize_db);
             }
         }
         traces

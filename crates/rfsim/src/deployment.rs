@@ -26,7 +26,10 @@ impl Deployment {
     /// Panics if the environment has zero links or zero locations.
     pub fn new(env: &Environment) -> Self {
         assert!(env.num_links > 0, "need at least one link");
-        assert!(env.locations_per_link > 0, "need at least one location per link");
+        assert!(
+            env.locations_per_link > 0,
+            "need at least one location per link"
+        );
         let m = env.num_links;
         let per = env.locations_per_link;
         let step = env.width_m / per as f64;

@@ -7,6 +7,7 @@
 //! between neighbouring locations on the same link cancel the entire
 //! drift, and differences between adjacent links cancel the global part.
 
+use iupdater_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,8 +49,8 @@ pub struct DriftProcess {
     model: DriftModel,
     /// `global[d]` = global drift at day `d`.
     global: Vec<f64>,
-    /// `per_link[l][d]` = per-link drift of link `l` at day `d`.
-    per_link: Vec<Vec<f64>>,
+    /// Row `l`, column `d` = per-link drift of link `l` at day `d`.
+    per_link: Matrix,
 }
 
 impl DriftProcess {
@@ -70,18 +71,15 @@ impl DriftProcess {
             acc += gaussian(&mut rng) * model.global_daily_sigma;
             global.push(acc);
         }
-        let per_link = (0..num_links)
-            .map(|_| {
-                let mut acc = 0.0;
-                let mut v = Vec::with_capacity(horizon_days + 1);
-                v.push(0.0);
-                for _ in 0..horizon_days {
-                    acc += gaussian(&mut rng) * model.link_daily_sigma;
-                    v.push(acc);
-                }
-                v
-            })
-            .collect();
+        let mut per_link = Matrix::zeros(num_links, horizon_days + 1);
+        for l in 0..num_links {
+            let mut acc = 0.0;
+            let row = per_link.row_mut(l);
+            for knot in row.iter_mut().skip(1) {
+                acc += gaussian(&mut rng) * model.link_daily_sigma;
+                *knot = acc;
+            }
+        }
         DriftProcess {
             model,
             global,
@@ -91,7 +89,7 @@ impl DriftProcess {
 
     /// Number of links the trajectory covers.
     pub fn num_links(&self) -> usize {
-        self.per_link.len()
+        self.per_link.rows()
     }
 
     /// Horizon in days.
@@ -106,10 +104,10 @@ impl DriftProcess {
     ///
     /// Panics if `link` is out of range.
     pub fn drift_db(&self, link: usize, day: f64) -> f64 {
-        assert!(link < self.per_link.len(), "link {link} out of range");
+        assert!(link < self.per_link.rows(), "link {link} out of range");
         let seasonal = self.model.seasonal_amp_db
             * (2.0 * std::f64::consts::PI * day / self.model.seasonal_period_days).sin();
-        self.interp(&self.global, day) + self.interp(&self.per_link[link], day) + seasonal
+        self.interp(&self.global, day) + self.interp(self.per_link.row(link), day) + seasonal
     }
 
     /// Only the global (environment-wide) component at `day`.

@@ -163,8 +163,7 @@ impl MultipathField {
         for s in &self.scatterers {
             let d_link = link.distance_to(s.pos);
             let d_target = s.pos.distance(target);
-            let weight =
-                (-d_link / m.link_decay_m).exp() * (-d_target / m.target_decay_m).exp();
+            let weight = (-d_link / m.link_decay_m).exp() * (-d_target / m.target_decay_m).exp();
             if weight < 1e-6 {
                 continue;
             }
@@ -244,7 +243,10 @@ mod tests {
             let f = MultipathField::generate(MultipathModel::medium(), 10.0, 12.0, seed);
             let a: f64 = (0..4)
                 .map(|k| {
-                    let l = Segment::new(Point::new(0.0, 1.5 * k as f64), Point::new(10.0, 1.5 * k as f64));
+                    let l = Segment::new(
+                        Point::new(0.0, 1.5 * k as f64),
+                        Point::new(10.0, 1.5 * k as f64),
+                    );
                     (f.target_db(l, Point::new(2.0, 3.0), 0.0)
                         - f.target_db(l, Point::new(8.0, 3.0), 0.0))
                     .abs()
@@ -273,7 +275,10 @@ mod tests {
         let f = MultipathField::generate(MultipathModel::medium(), 10.0, 12.0, 4);
         let day0 = f.ambient_db(link(), 0.0);
         let hour_later = f.ambient_db(link(), 1.0 / 24.0);
-        assert!((day0 - hour_later).abs() < 0.2, "hours-scale change too fast");
+        assert!(
+            (day0 - hour_later).abs() < 0.2,
+            "hours-scale change too fast"
+        );
     }
 
     #[test]
@@ -281,7 +286,10 @@ mod tests {
         let a = MultipathField::generate(MultipathModel::medium(), 10.0, 12.0, 9);
         let b = MultipathField::generate(MultipathModel::medium(), 10.0, 12.0, 9);
         let p = Point::new(4.0, 2.0);
-        assert_eq!(a.with_target_db(link(), p, 3.0), b.with_target_db(link(), p, 3.0));
+        assert_eq!(
+            a.with_target_db(link(), p, 3.0),
+            b.with_target_db(link(), p, 3.0)
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ mod tests {
         let max = trace.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = trace.iter().cloned().fold(f64::INFINITY, f64::min);
         let pp = max - min;
-        assert!((3.0..9.0).contains(&pp), "peak-to-peak {pp} dB out of range");
+        assert!(
+            (3.0..9.0).contains(&pp),
+            "peak-to-peak {pp} dB out of range"
+        );
     }
 
     #[test]
@@ -138,7 +141,11 @@ mod tests {
         let trace = p.trace(50_000);
         let mean = trace.iter().sum::<f64>() / trace.len() as f64;
         let var = trace.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trace.len() as f64;
-        assert!((var.sqrt() - model.sigma).abs() < 0.1, "sigma {} ", var.sqrt());
+        assert!(
+            (var.sqrt() - model.sigma).abs() < 0.1,
+            "sigma {} ",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ mod tests {
         let graze = t.attenuation_db(link, Point::new(5.0, 0.5), lambda);
         let block = t.attenuation_db(link, Point::new(5.0, 0.0), lambda);
         assert!(graze > 0.0, "grazing should attenuate a little");
-        assert!(graze < block, "grazing {graze} must be below blocking {block}");
+        assert!(
+            graze < block,
+            "grazing {graze} must be below blocking {block}"
+        );
     }
 
     #[test]
@@ -162,7 +165,10 @@ mod tests {
         for k in 0..8 {
             let y = k as f64 * 0.15;
             let a = t.attenuation_db(link, Point::new(5.0, y), lambda);
-            assert!(a <= prev + 1e-9, "attenuation should fall as target moves off-path");
+            assert!(
+                a <= prev + 1e-9,
+                "attenuation should fall as target moves off-path"
+            );
             prev = a;
         }
     }

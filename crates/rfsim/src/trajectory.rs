@@ -2,6 +2,7 @@
 //! of online measurements, the input for device-free *tracking* (the
 //! application domain of the paper's RASS comparison system).
 
+use iupdater_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,7 +31,10 @@ impl Trajectory {
     /// moves to a 4-neighbour cell (up/down along links or sideways to
     /// the adjacent link's same relative cell), never leaving the grid.
     pub fn random_walk(deployment: &Deployment, start: usize, steps: usize, seed: u64) -> Self {
-        assert!(start < deployment.num_locations(), "start cell out of range");
+        assert!(
+            start < deployment.num_locations(),
+            "start cell out of range"
+        );
         let per = deployment.locations_per_link();
         let m = deployment.num_links();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -75,13 +79,15 @@ impl Trajectory {
     }
 
     /// Generates the per-epoch online measurement vectors on a testbed
-    /// at day offset `day`.
-    pub fn measurements(&self, testbed: &Testbed, day: f64, salt: u64) -> Vec<Vec<f64>> {
-        self.cells
-            .iter()
-            .enumerate()
-            .map(|(k, &j)| testbed.online_measurement(j, day, salt.wrapping_add(k as u64 * 131)))
-            .collect()
+    /// at day offset `day`, one epoch per row (`epochs x M`).
+    pub fn measurements(&self, testbed: &Testbed, day: f64, salt: u64) -> Matrix {
+        let m = testbed.deployment().num_links();
+        let mut out = Matrix::zeros(self.cells.len(), m);
+        for (k, &j) in self.cells.iter().enumerate() {
+            let y = testbed.online_measurement(j, day, salt.wrapping_add(k as u64 * 131));
+            out.set_row(k, &y);
+        }
+        out
     }
 
     /// Total path length in metres.
@@ -136,8 +142,7 @@ mod tests {
         let t = Testbed::new(env, 5);
         let traj = Trajectory::from_cells(vec![1, 2, 3]);
         let ms = traj.measurements(&t, 0.0, 9);
-        assert_eq!(ms.len(), 3);
-        assert!(ms.iter().all(|m| m.len() == 8));
+        assert_eq!(ms.shape(), (3, 8));
     }
 
     #[test]

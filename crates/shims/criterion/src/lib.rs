@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking API surface this workspace uses —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! `warm_up_time` / `measurement_time` / `sample_size`, [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — as a
+//! simple wall-clock harness:
+//!
+//! - warm-up runs the closure until the warm-up budget elapses,
+//! - measurement collects per-iteration timings until the measurement
+//!   budget (or the sample cap) is reached,
+//! - the median, mean, and min are printed per benchmark, one line each,
+//!   in a stable machine-greppable format:
+//!   `bench: <group>/<name> median_ns:<x> mean_ns:<y> min_ns:<z> samples:<n>`.
+//!
+//! Environment knobs: `BENCH_QUICK=1` caps warm-up at 50 ms and
+//! measurement at 300 ms per benchmark (used by the CI smoke run), and
+//! `BENCH_FILTER=substring` skips non-matching benchmarks.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimiser from deleting the
+/// benchmarked computation.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::var("BENCH_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false),
+            filter: std::env::var("BENCH_FILTER").ok().filter(|s| !s.is_empty()),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of related benchmarks sharing timing budgets.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Caps the number of samples collected.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let (warm_up, measurement) = if self.criterion.quick {
+            (
+                self.warm_up.min(Duration::from_millis(50)),
+                self.measurement.min(Duration::from_millis(300)),
+            )
+        } else {
+            (self.warm_up, self.measurement)
+        };
+
+        // Warm-up phase.
+        let start = Instant::now();
+        while start.elapsed() < warm_up {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+        }
+
+        // Measurement phase.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let start = Instant::now();
+        while samples_ns.len() < self.sample_size && start.elapsed() < measurement {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            }
+        }
+        if samples_ns.is_empty() {
+            println!("bench: {full} (no samples)");
+            return self;
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns[0];
+        println!(
+            "bench: {full} median_ns:{median:.0} mean_ns:{mean:.0} min_ns:{min:.0} samples:{}",
+            samples_ns.len()
+        );
+        self
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-sample timing handle.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One timed execution per sample keeps the harness simple and
+        // is accurate enough at the >10µs scale of this workspace.
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group function (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        group.sample_size(5);
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "benchmark closure must run");
+    }
+}

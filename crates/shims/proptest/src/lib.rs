@@ -1,0 +1,481 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use — the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, `prop::collection::vec`,
+//! [`any`], [`Just`] and [`prop_oneof!`] — on top of a deterministic
+//! seeded generator (no shrinking; a failing case panics with the
+//! case's seed so it can be replayed).
+//!
+//! Each `#[test]` runs `PROPTEST_CASES` (default 64) deterministic
+//! cases derived from the test's module path and name, so failures are
+//! stable across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Deterministic per-case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro.
+pub mod test_runner {
+    use super::TestRng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases per property (override with `PROPTEST_CASES`).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Builds the deterministic generator for case `case` of the test
+    /// identified by `name`.
+    pub fn new_rng(name: &str, case: u64) -> TestRng {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+}
+
+/// A generator of values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns
+    /// for it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased alternatives (see [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.options.len());
+        self.options[k].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.below(span.min(usize::MAX as u128) as usize)) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + rng.below((hi - lo) as usize + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Bounded but sign-varied; the exotic values (inf/nan) real
+        // proptest emits would break numeric properties by design.
+        (rng.unit_f64() - 0.5) * 2e3
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.below(1 << 16)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (subset of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec(..)` et al).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Length specification: a fixed `usize` or a `Range<usize>`.
+        pub trait IntoLen {
+            /// Draws a concrete length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoLen for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoLen for std::ops::Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                Strategy::generate(self, rng)
+            }
+        }
+
+        impl IntoLen for std::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                Strategy::generate(self, rng)
+            }
+        }
+
+        /// Strategy for `Vec<T>` with element strategy `S`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, len)`.
+        pub fn vec<S: Strategy, L: IntoLen>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Per-block configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: usize,
+    /// Accepted for API compatibility; this subset never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: test_runner::cases(),
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a property-level condition (no shrinking in this subset;
+/// failure panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-level `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-level `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption fails (this subset just
+/// returns from the case body, which is sound because each case runs in
+/// its own closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares deterministic random-case property tests.
+///
+/// Mirrors `proptest::proptest!`: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running [`test_runner::cases`] cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cases = ($cfg).cases;
+                for __case in 0..__cases {
+                    let __run = || {
+                        let mut __rng = $crate::test_runner::new_rng(
+                            concat!(module_path!(), "::", stringify!($name)),
+                            __case as u64,
+                        );
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                        $body
+                    };
+                    __run();
+                }
+            }
+        )+
+    };
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    let __run = || {
+                        let mut __rng = $crate::test_runner::new_rng(
+                            concat!(module_path!(), "::", stringify!($name)),
+                            __case as u64,
+                        );
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                        $body
+                    };
+                    __run();
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::new_rng("bounds", 1);
+        for _ in 0..100 {
+            let v = Strategy::generate(&(3usize..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn flat_map_chains() {
+        let strat = (1usize..4)
+            .prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v)));
+        let mut rng = crate::test_runner::new_rng("chain", 2);
+        for _ in 0..50 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_option() {
+        let strat = prop_oneof![Just(1u64), Just(2u64), Just(3u64)];
+        let mut rng = crate::test_runner::new_rng("oneof", 3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(strat.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in 0usize..10, (x, y) in (0.0f64..1.0, 0.0f64..1.0)) {
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&x) && (0.0..1.0).contains(&y));
+        }
+    }
+}

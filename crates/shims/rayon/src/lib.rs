@@ -1,0 +1,317 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This workspace builds hermetically, so it ships a minimal
+//! API-compatible subset of rayon implemented on `std::thread::scope`:
+//!
+//! - `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` and
+//!   `.for_each(f)` over `Range<usize>`,
+//! - `items.par_iter().map(f).collect::<Vec<_>>()` over slices,
+//! - [`join`] for two-way fork-join,
+//! - [`current_num_threads`].
+//!
+//! Work is split into one contiguous block per worker thread (results
+//! keep their input order). There is no work stealing and no global
+//! pool — threads are scoped per call — which is the right trade-off
+//! for this workspace's coarse-grained, evenly-sized batches. Swapping
+//! in the real rayon later requires no call-site changes.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for parallel execution (respects
+/// `RAYON_NUM_THREADS`, else the machine's available parallelism).
+/// Read once and cached — like the real rayon's global pool size, it
+/// does not react to environment changes after first use, and hot
+/// loops avoid repeated `getenv` calls.
+pub fn current_num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `a` and `b` potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() < 2 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim join worker panicked"))
+    })
+}
+
+/// Splits `len` items into at most `threads` contiguous `(start, end)`
+/// blocks of near-equal size.
+fn blocks(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, len.max(1));
+    let base = len / threads;
+    let extra = len % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let size = base + usize::from(t < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Runs `f(i)` for every index in `[0, len)` across the worker threads,
+/// collecting results in input order.
+fn run_indexed<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || len == 1 {
+        return (0..len).map(f).collect();
+    }
+    let blocks = blocks(len, threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(blocks.len());
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = blocks
+            .iter()
+            .map(|&(lo, hi)| s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()))
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Conversion into a parallel iterator (subset of rayon's trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Borrowing conversion (subset of rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item;
+    /// Iterator type.
+    type Iter;
+    /// Converts `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+impl ParRange {
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Maps each index through `f` (lazily; drive with `collect` or
+    /// `for_each` on the returned adapter).
+    pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        ParRangeMap { range: self, f }
+    }
+
+    /// Runs `f` on every index across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.start;
+        run_indexed(self.len(), current_num_threads(), |i| f(start + i));
+    }
+}
+
+/// Map adapter over [`ParRange`].
+pub struct ParRangeMap<F> {
+    range: ParRange,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Computes all mapped values in input order.
+    pub fn collect<C, T>(self) -> C
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: From<Vec<T>>,
+    {
+        let start = self.range.start;
+        let f = self.f;
+        run_indexed(self.range.len(), current_num_threads(), |i| f(start + i)).into()
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Maps each element reference through `f`.
+    pub fn map<O, F>(self, f: F) -> ParSliceMap<'a, T, F>
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        ParSliceMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let items = self.items;
+        run_indexed(items.len(), current_num_threads(), |i| f(&items[i]));
+    }
+}
+
+/// Map adapter over [`ParSlice`].
+pub struct ParSliceMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParSliceMap<'a, T, F> {
+    /// Computes all mapped values in input order.
+    pub fn collect<C, O>(self) -> C
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+        C: From<Vec<O>>,
+    {
+        let items = self.items;
+        let f = self.f;
+        run_indexed(items.len(), current_num_threads(), |i| f(&items[i])).into()
+    }
+}
+
+/// The rayon prelude: import `rayon::prelude::*` at call sites.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let input: Vec<f64> = (0..257).map(|i| i as f64).collect();
+        let out: Vec<f64> = input.par_iter().map(|&x| x + 0.5).collect();
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i as f64 + 0.5));
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..123).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 123);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let v: Vec<usize> = (7..8).into_par_iter().map(|i| i).collect();
+        assert_eq!(v, vec![7]);
+    }
+
+    #[test]
+    fn blocks_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 16, 33] {
+            for threads in [1usize, 2, 3, 8] {
+                let b = super::blocks(len, threads);
+                let mut expect = 0;
+                for (lo, hi) in b {
+                    assert_eq!(lo, expect);
+                    assert!(hi >= lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, len);
+            }
+        }
+    }
+}

@@ -37,9 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Part 1: multi-target snapshots --------------------------------
     let localizer = Localizer::new(fresh.clone(), LocalizerConfig::default());
     let pairs = [
-        (deployment.location_index(1, 3), deployment.location_index(6, 11)),
-        (deployment.location_index(2, 7), deployment.location_index(5, 2)),
-        (deployment.location_index(0, 10), deployment.location_index(7, 5)),
+        (
+            deployment.location_index(1, 3),
+            deployment.location_index(6, 11),
+        ),
+        (
+            deployment.location_index(2, 7),
+            deployment.location_index(5, 2),
+        ),
+        (
+            deployment.location_index(0, 10),
+            deployment.location_index(7, 5),
+        ),
     ];
     println!("\ntwo-visitor snapshots:");
     let mut all_errs = Vec::new();
@@ -68,12 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // Compare against epoch-independent matching.
-    let independent: Vec<f64> = measurements
-        .iter()
+    let independent: Vec<f64> = (0..measurements.rows())
         .zip(walk.cells())
-        .map(|(y, &t)| {
-            let est = localizer.localize(y).expect("localize");
-            deployment.location(t).distance(deployment.location(est.grid))
+        .map(|(k, &t)| {
+            let est = localizer.localize(measurements.row(k)).expect("localize");
+            deployment
+                .location(t)
+                .distance(deployment.location(est.grid))
         })
         .collect();
     println!(

@@ -54,8 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let path = intruder_path(per);
-    println!("tracking an intruder over {} waypoints (day {day}):", path.len());
-    println!("{:>5} {:>9} {:>12} {:>12}", "step", "detected", "stale err", "fresh err");
+    println!(
+        "tracking an intruder over {} waypoints (day {day}):",
+        path.len()
+    );
+    println!(
+        "{:>5} {:>9} {:>12} {:>12}",
+        "step", "detected", "stale err", "fresh err"
+    );
     let mut stale_errs = Vec::new();
     let mut fresh_errs = Vec::new();
     let mut detections = 0usize;
@@ -69,16 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let detected = max_dip > 3.0;
         detections += detected as usize;
 
-        let e_stale = localization_error_m(
-            deployment,
-            cell,
-            stale_localizer.localize(&y)?.grid,
-        );
-        let e_fresh = localization_error_m(
-            deployment,
-            cell,
-            fresh_localizer.localize(&y)?.grid,
-        );
+        let e_stale = localization_error_m(deployment, cell, stale_localizer.localize(&y)?.grid);
+        let e_fresh = localization_error_m(deployment, cell, fresh_localizer.localize(&y)?.grid);
         stale_errs.push(e_stale);
         fresh_errs.push(e_fresh);
         if k % 5 == 0 {

@@ -26,12 +26,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let labor = LaborModel::default();
     let checkpoints = [15.0_f64, 45.0, 90.0];
 
+    // The whole fleet runs as one batched UpdateService: every
+    // environment is a managed deployment, and each checkpoint is a
+    // single parallel update cycle across all of them.
+    let mut service = UpdateService::new();
+    let mut ids: Vec<DeploymentId> = Vec::new();
     for env in Environment::all_presets() {
-        let kind = env.kind;
+        let name = format!("{}", env.kind);
         let testbed = Testbed::new(env, 1234);
+        ids.push(service.register(name, testbed, UpdaterConfig::default(), 50)?);
+    }
+
+    // Policy C for every site at once: one service cycle per checkpoint.
+    let mut iu_errs = vec![0.0_f64; ids.len()];
+    for &d in &checkpoints {
+        service.run_cycle(d, 5)?;
+        for (k, &id) in ids.iter().enumerate() {
+            iu_errs[k] += mean_reconstruction_error(
+                service.fingerprint(id)?.matrix(),
+                &service.testbed(id)?.expected_fingerprint_matrix(d),
+            )?;
+        }
+    }
+
+    for (k, &id) in ids.iter().enumerate() {
+        let testbed = service.testbed(id)?;
+        let updater = service.updater(id)?;
+        let day0 = updater.prior().clone();
         let n = testbed.deployment().num_locations();
-        let day0 = FingerprintMatrix::survey(&testbed, 0.0, 50);
-        let updater = Updater::new(day0.clone(), UpdaterConfig::default())?;
         let n_refs = updater.reference_locations().len();
 
         let mut outcomes: Vec<PolicyOutcome> = Vec::new();
@@ -39,10 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Policy A: never update (free, stale).
         let mut stale_err = 0.0;
         for &d in &checkpoints {
-            stale_err += mean_reconstruction_error(
-                day0.matrix(),
-                &testbed.expected_fingerprint_matrix(d),
-            )?;
+            stale_err +=
+                mean_reconstruction_error(day0.matrix(), &testbed.expected_fingerprint_matrix(d))?;
         }
         outcomes.push(PolicyOutcome {
             name: "never update",
@@ -54,11 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let trad = FullResurvey::traditional();
         let mut trad_err = 0.0;
         for &d in &checkpoints {
-            let fresh = trad.update(&testbed, d);
-            trad_err += mean_reconstruction_error(
-                fresh.matrix(),
-                &testbed.expected_fingerprint_matrix(d),
-            )?;
+            let fresh = trad.update(testbed, d);
+            trad_err +=
+                mean_reconstruction_error(fresh.matrix(), &testbed.expected_fingerprint_matrix(d))?;
         }
         outcomes.push(PolicyOutcome {
             name: "full resurvey (50 samples)",
@@ -66,22 +84,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             error_db: trad_err / checkpoints.len() as f64,
         });
 
-        // Policy C: iUpdater at every checkpoint.
-        let mut iu_err = 0.0;
-        for &d in &checkpoints {
-            let fresh = updater.update_from_testbed(&testbed, d, 5)?;
-            iu_err += mean_reconstruction_error(
-                fresh.matrix(),
-                &testbed.expected_fingerprint_matrix(d),
-            )?;
-        }
+        // Policy C: the batched iUpdater cycles run above.
         outcomes.push(PolicyOutcome {
             name: "iUpdater (reference cells)",
             labor_s: labor.survey_time_s(n_refs, 5) * checkpoints.len() as f64,
-            error_db: iu_err / checkpoints.len() as f64,
+            error_db: iu_errs[k] / checkpoints.len() as f64,
         });
 
-        println!("\n== {kind} ({n} locations, {n_refs} reference cells) ==");
+        println!(
+            "\n== {} ({n} locations, {n_refs} reference cells, {} service cycles) ==",
+            service.name(id)?,
+            service.cycles_run(id)?
+        );
         println!("{:<28} {:>12} {:>14}", "policy", "labor", "mean error");
         for o in &outcomes {
             println!(

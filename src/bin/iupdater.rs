@@ -48,10 +48,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             match fs::read_to_string(&prior_path) {
-                Ok(prior) => cli::cmd_update(&env, seed, &prior, day, samples).map(|(db, summary)| {
-                    eprintln!("{summary}");
-                    print!("{db}");
-                }),
+                Ok(prior) => {
+                    cli::cmd_update(&env, seed, &prior, day, samples).map(|(db, summary)| {
+                        eprintln!("{summary}");
+                        print!("{db}");
+                    })
+                }
                 Err(e) => {
                     eprintln!("cannot read {prior_path}: {e}");
                     return ExitCode::from(1);
@@ -88,6 +90,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(1);
                 }
             }
+        }
+        "batch" => {
+            let (Some(envs), Some(days)) = (get("envs"), get("days")) else {
+                eprintln!("batch requires --envs and --days (comma-separated lists)");
+                return ExitCode::from(2);
+            };
+            cli::cmd_batch(&envs, seed, &days, samples).map(|r| print!("{r}"))
         }
         "help" | "--help" | "-h" => {
             println!("{}", cli::usage());

@@ -89,8 +89,7 @@ pub fn cmd_update(
         .update_from_testbed(&testbed, day, samples.max(1))
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
     let mut buf = Vec::new();
-    persist::write_fingerprint(&fresh, &mut buf)
-        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    persist::write_fingerprint(&fresh, &mut buf).map_err(|e| CliError::Pipeline(e.to_string()))?;
     let summary = format!(
         "updated at day {day} from {} reference locations {:?}",
         updater.reference_locations().len(),
@@ -165,6 +164,83 @@ pub fn cmd_info(db_text: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `batch`: registers one deployment per listed environment with the
+/// [`UpdateService`] and runs parallel update cycles at each listed
+/// day, printing a per-deployment/per-day report. `envs` and `days`
+/// are comma-separated lists.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed lists or pipeline failure.
+pub fn cmd_batch(envs: &str, seed: u64, days: &str, samples: usize) -> Result<String, CliError> {
+    let env_list: Vec<&str> = envs
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if env_list.is_empty() {
+        return Err(CliError::Usage(
+            "batch requires at least one environment".into(),
+        ));
+    }
+    let day_list: Vec<f64> = days
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|_| CliError::Usage(format!("bad day value '{s}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    if day_list.is_empty() {
+        return Err(CliError::Usage(
+            "batch requires at least one --days value".into(),
+        ));
+    }
+
+    let mut service = UpdateService::new();
+    for (k, name) in env_list.iter().enumerate() {
+        let env = parse_environment(name)?;
+        let testbed = Testbed::new(env, seed.wrapping_add(k as u64));
+        service
+            .register(format!("{name}-{k}"), testbed, UpdaterConfig::default(), 20)
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "update service: {} deployment(s), {} cycle day(s)",
+        service.len(),
+        day_list.len()
+    );
+    for &day in &day_list {
+        let outcomes = service
+            .run_cycle(day, samples.max(1))
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        for o in outcomes {
+            let _ = writeln!(
+                out,
+                "day {day:>5.1}  {:<12} refs={:<2} iters={:<3} objective={:.3e}",
+                o.name, o.reference_count, o.iterations, o.final_objective
+            );
+        }
+    }
+    for id in service.ids() {
+        let _ = writeln!(
+            out,
+            "{}: {} cycle(s) completed",
+            service
+                .name(id)
+                .map_err(|e| CliError::Pipeline(e.to_string()))?,
+            service
+                .cycles_run(id)
+                .map_err(|e| CliError::Pipeline(e.to_string()))?,
+        );
+    }
+    Ok(out)
+}
+
 /// Top-level usage text for the binary.
 pub fn usage() -> &'static str {
     "iupdater — device-free localization with low-cost fingerprint updating\n\
@@ -174,8 +250,11 @@ pub fn usage() -> &'static str {
        iupdater update   --env <...> --prior <db file> [--seed N] [--day D] [--samples S]\n\
        iupdater localize --env <...> --db <db file> --cell J [--seed N] [--day D]\n\
        iupdater info     --db <db file>\n\
+       iupdater batch    --envs <e1,e2,...> --days <d1,d2,...> [--seed N] [--samples S]\n\
      \n\
-     `survey` and `update` print the database to stdout (redirect to a file)."
+     `survey` and `update` print the database to stdout (redirect to a file).\n\
+     `batch` runs an update-service fleet: one deployment per environment,\n\
+     update cycles across all deployments in parallel at each listed day."
 }
 
 #[cfg(test)]
@@ -207,6 +286,37 @@ mod tests {
         let db = cmd_survey("hall", 2, 0.0, 2).unwrap();
         assert!(matches!(
             cmd_localize("hall", 2, &db, 10_000, 0.0),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn batch_runs_fleet_cycles() {
+        let report = cmd_batch("office,library", 3, "5, 15", 2).unwrap();
+        assert!(
+            report.contains("2 deployment(s), 2 cycle day(s)"),
+            "{report}"
+        );
+        assert!(report.contains("office-0"));
+        assert!(report.contains("library-1"));
+        assert!(report.contains("day   5.0"));
+        assert!(report.contains("day  15.0"));
+        assert!(report.contains("office-0: 2 cycle(s) completed"));
+    }
+
+    #[test]
+    fn batch_rejects_bad_lists() {
+        assert!(matches!(cmd_batch("", 1, "5", 2), Err(CliError::Usage(_))));
+        assert!(matches!(
+            cmd_batch("office", 1, "abc", 2),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_batch("office", 1, "", 2),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_batch("mall", 1, "5", 2),
             Err(CliError::Usage(_))
         ));
     }

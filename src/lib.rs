@@ -17,6 +17,33 @@
 //! - [`eval`] — the experiment harness regenerating every figure and
 //!   table of the paper's evaluation.
 //!
+//! # Architecture: the three numeric layers
+//!
+//! The reconstruction stack is deliberately layered; each layer only
+//! talks to the one below it:
+//!
+//! 1. **Zero-copy linear algebra** (`linalg`): the dense row-major
+//!    [`linalg::Matrix`] plus borrowed [`linalg::MatrixView`] /
+//!    [`linalg::MatrixViewMut`] row/column blocks, in-place kernels
+//!    (`matmul_into`, `matmul_bt_into`, `axpy`, `gram_into`,
+//!    `add_outer`) and a cache-blocked multiply. SVD, QR and LU run on
+//!    row-contiguous working storage instead of strided column walks.
+//! 2. **The solver engine** (`core::solver`): the self-augmented RSVD
+//!    objective is an ordered list of pluggable
+//!    [`core::solver::terms::PenaltyTerm`]s (data fit, MIC
+//!    correlation, continuity, link similarity) composed by a generic
+//!    ALS engine. Per-column/per-row normal equations are assembled
+//!    and LU-factored in parallel (phase 1); only the Exact-coupling
+//!    cross terms walk sequentially (phase 2), so results are
+//!    bit-identical to the historical monolith kept in
+//!    `core::solver::reference` and asserted by the golden parity
+//!    tests.
+//! 3. **The batched update service** (`core::service`): an
+//!    [`core::service::UpdateService`] owns N deployments (engine +
+//!    fingerprint store each) and runs update cycles across them in
+//!    parallel — the API the `iupdater batch` CLI subcommand, the
+//!    `ext-fleet` evaluation and the `update_campaign` example drive.
+//!
 //! # Quickstart
 //!
 //! ```

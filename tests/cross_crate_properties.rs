@@ -102,10 +102,7 @@ proptest! {
 fn survey_determinism_across_equal_testbeds() {
     let a = Testbed::new(Environment::library(), 5);
     let b = Testbed::new(Environment::library(), 5);
-    assert_eq!(
-        a.fingerprint_matrix(12.0, 4),
-        b.fingerprint_matrix(12.0, 4)
-    );
+    assert_eq!(a.fingerprint_matrix(12.0, 4), b.fingerprint_matrix(12.0, 4));
 }
 
 #[test]

@@ -63,7 +63,10 @@ fn missing_no_decrease_data_still_reconstructs() {
 fn zero_samples_panics_cleanly() {
     let testbed = Testbed::new(Environment::hall(), SEED);
     let result = std::panic::catch_unwind(|| testbed.fingerprint_matrix(0.0, 0));
-    assert!(result.is_err(), "zero-sample survey must panic with a clear message");
+    assert!(
+        result.is_err(),
+        "zero-sample survey must panic with a clear message"
+    );
 }
 
 #[test]
@@ -83,9 +86,7 @@ fn updater_rejects_mismatched_shapes() {
     let refs = updater.reference_locations().to_vec();
     let x_r = testbed.measure_columns(&refs, day, 5);
     let b = CellClassification::from_testbed(&testbed).index_matrix();
-    let x_b = b
-        .hadamard(&testbed.fingerprint_matrix(day, 5))
-        .unwrap();
+    let x_b = b.hadamard(&testbed.fingerprint_matrix(day, 5)).unwrap();
     // Wrong reference count.
     let bad_xr = x_r.select_cols(&[0, 1]);
     assert!(updater.update_with_mask(&bad_xr, &x_b, &b).is_err());
