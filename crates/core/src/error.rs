@@ -16,6 +16,17 @@ pub enum CoreError {
     },
     /// An argument was invalid.
     InvalidArgument(&'static str),
+    /// An underlying I/O operation failed. `std::io::Error` is neither
+    /// `Clone` nor `PartialEq`, so the kind and rendered message are
+    /// preserved instead of the error value itself.
+    Io {
+        /// The failed operation ("read" / "write").
+        op: &'static str,
+        /// The original [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// The original error's rendered message.
+        message: String,
+    },
     /// The underlying linear algebra failed.
     Linalg(LinalgError),
     /// The iterative reconstruction did not reach its stopping criterion.
@@ -25,6 +36,27 @@ pub enum CoreError {
         /// Last objective value observed.
         objective: f64,
     },
+    /// A fleet operation failed for one specific deployment; wraps the
+    /// underlying error with the deployment's identity.
+    Deployment {
+        /// The deployment's registered name.
+        name: String,
+        /// The deployment's index within the service.
+        id: usize,
+        /// What went wrong.
+        source: Box<CoreError>,
+    },
+}
+
+impl CoreError {
+    /// Wraps an [`std::io::Error`], preserving its kind and message.
+    pub fn from_io(op: &'static str, e: &std::io::Error) -> Self {
+        CoreError::Io {
+            op,
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +68,9 @@ impl fmt::Display for CoreError {
                 got,
             } => write!(f, "dimension mismatch in {context}: expected {expected}, got {got}"),
             CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CoreError::Io { op, kind, message } => {
+                write!(f, "{op} failed ({kind:?}): {message}")
+            }
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             CoreError::NonConvergence {
                 iterations,
@@ -44,6 +79,9 @@ impl fmt::Display for CoreError {
                 f,
                 "reconstruction did not converge within {iterations} iterations (objective {objective:.3e})"
             ),
+            CoreError::Deployment { name, id, source } => {
+                write!(f, "deployment '{name}' (id {id}): {source}")
+            }
         }
     }
 }
@@ -52,6 +90,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Linalg(e) => Some(e),
+            CoreError::Deployment { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -85,6 +124,35 @@ mod tests {
         use std::error::Error;
         let e = CoreError::from(LinalgError::Singular);
         assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn io_preserves_kind_and_message() {
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "disk says no");
+        let e = CoreError::from_io("write", &io);
+        assert_eq!(
+            e,
+            CoreError::Io {
+                op: "write",
+                kind: std::io::ErrorKind::PermissionDenied,
+                message: "disk says no".into(),
+            }
+        );
+        assert!(e.to_string().contains("PermissionDenied"));
+        assert!(e.to_string().contains("disk says no"));
+    }
+
+    #[test]
+    fn deployment_wraps_with_identity_and_source() {
+        use std::error::Error;
+        let e = CoreError::Deployment {
+            name: "office-3".into(),
+            id: 3,
+            source: Box::new(CoreError::InvalidArgument("bad day")),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("office-3") && msg.contains("id 3") && msg.contains("bad day"));
         assert!(e.source().is_some());
     }
 

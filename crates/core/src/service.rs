@@ -8,6 +8,40 @@
 //! across them in parallel (via the rayon facade), exposing a batched
 //! API the CLI, the evaluation scenarios and the examples drive.
 //!
+//! # Asynchronous measurement ingest
+//!
+//! Field gateways do not collect measurements at the instant a cycle
+//! runs: surveyors upload reference-column readings whenever they
+//! finish a walk, while the solve runs on a timer. The ingest layer
+//! decouples the two. A [`MeasurementBatch`] carries everything one
+//! cycle needs (`day`, reference columns `X_R`, no-decrease matrix
+//! `X_B`, mask `B`); [`UpdateService::ingest`] validates it against the
+//! deployment and appends it to that deployment's [`IngestQueue`].
+//! [`UpdateService::run_cycle`] then *drains* each queue — one solve
+//! and one commit per queued batch, oldest first — and only falls back
+//! to a synchronous testbed pull for deployments whose queue is empty,
+//! so a timer-driven cycle makes progress whether or not fresh field
+//! data arrived. Batch days are validated to be non-decreasing at
+//! ingest time, and cycles reject a `day` earlier than a deployment's
+//! last committed update.
+//!
+//! # Durability
+//!
+//! The fleet state is checkpointable: [`UpdateService::snapshot`]
+//! captures every deployment (name, environment + seed, config,
+//! counters, reference set, the engine's prior and the live database)
+//! as a [`ServiceSnapshot`], and [`UpdateService::restore`] rebuilds a
+//! service from one — reconstructing each update engine from its
+//! snapshotted prior so post-restore cycles are bit-identical to an
+//! uninterrupted run. [`crate::persist::write_service`] /
+//! [`crate::persist::read_service`] serialise snapshots to the
+//! versioned v2 text format. [`UpdateService::drive_schedule`] runs a
+//! day-stepped campaign with a snapshot handed to a callback after
+//! every committed cycle (checkpoint-on-commit). Pending ingest queues
+//! are deliberately *not* part of a snapshot: batches are transient
+//! gateway input and are re-ingested from the upload spool after a
+//! restart.
+//!
 //! ```
 //! use iupdater_core::service::UpdateService;
 //! use iupdater_core::UpdaterConfig;
@@ -20,12 +54,19 @@
 //! }
 //! let outcomes = service.run_cycle(45.0, 5)?;
 //! assert_eq!(outcomes.len(), 3);
+//! // Checkpoint, "crash", resume.
+//! let snapshot = service.snapshot();
+//! let restored = UpdateService::restore(&snapshot)?;
+//! assert_eq!(restored.len(), 3);
 //! # Ok::<(), iupdater_core::CoreError>(())
 //! ```
 
+use std::collections::VecDeque;
+
 use rayon::prelude::*;
 
-use iupdater_rfsim::Testbed;
+use iupdater_linalg::Matrix;
+use iupdater_rfsim::{Environment, Testbed};
 
 use crate::config::{LocalizerConfig, UpdaterConfig};
 use crate::fingerprint::FingerprintMatrix;
@@ -38,6 +79,149 @@ use crate::{CoreError, Result};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeploymentId(usize);
 
+/// One cycle's worth of field measurements for a single deployment:
+/// the inputs [`Updater::update_with_mask`] consumes, stamped with the
+/// day they were collected.
+#[derive(Debug, Clone)]
+pub struct MeasurementBatch {
+    day: f64,
+    x_r: Matrix,
+    x_b: Matrix,
+    b: Matrix,
+}
+
+impl MeasurementBatch {
+    /// Wraps raw measurements. `x_r` columns must be ordered like the
+    /// target deployment's [`Updater::reference_locations`]; `x_b` and
+    /// `b` are the no-decrease matrix and known-cell mask.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for a non-finite `day` or any
+    /// non-finite matrix entry (a NaN reading would survive the solve
+    /// and poison the committed database, which could then never be
+    /// checkpointed again); [`CoreError::DimensionMismatch`] when
+    /// `x_b`, `b` and `x_r` disagree on the link count or `x_b` / `b`
+    /// on shape.
+    pub fn new(day: f64, x_r: Matrix, x_b: Matrix, b: Matrix) -> Result<Self> {
+        if !day.is_finite() {
+            return Err(CoreError::InvalidArgument(
+                "measurement batch day must be finite",
+            ));
+        }
+        for m in [&x_r, &x_b, &b] {
+            for i in 0..m.rows() {
+                for j in 0..m.cols() {
+                    if !m[(i, j)].is_finite() {
+                        return Err(CoreError::InvalidArgument(
+                            "measurement batch contains a non-finite value",
+                        ));
+                    }
+                }
+            }
+        }
+        if x_b.shape() != b.shape() {
+            return Err(CoreError::DimensionMismatch {
+                context: "MeasurementBatch::new (x_b / b)",
+                expected: format!("{:?}", x_b.shape()),
+                got: format!("{:?}", b.shape()),
+            });
+        }
+        if x_r.rows() != x_b.rows() {
+            return Err(CoreError::DimensionMismatch {
+                context: "MeasurementBatch::new (x_r rows)",
+                expected: format!("{} rows", x_b.rows()),
+                got: format!("{} rows", x_r.rows()),
+            });
+        }
+        Ok(MeasurementBatch { day, x_r, x_b, b })
+    }
+
+    /// Collects a batch from a simulated testbed: fresh reference
+    /// columns at `reference_locations`, the no-decrease survey, and
+    /// the classification mask — exactly what the synchronous fallback
+    /// inside [`UpdateService::run_cycle`] gathers.
+    pub fn collect(
+        testbed: &Testbed,
+        reference_locations: &[usize],
+        day: f64,
+        samples: usize,
+    ) -> Result<Self> {
+        let samples = samples.max(1);
+        let x_r = testbed.measure_columns(reference_locations, day, samples);
+        let x_b_full = testbed.fingerprint_matrix(day, samples);
+        let b = crate::classify::CellClassification::from_testbed(testbed).index_matrix();
+        let x_b = b.hadamard(&x_b_full)?;
+        MeasurementBatch::new(day, x_r, x_b, b)
+    }
+
+    /// Day offset the measurements were collected at.
+    pub fn day(&self) -> f64 {
+        self.day
+    }
+
+    /// The fresh reference columns `X_R`.
+    pub fn reference_columns(&self) -> &Matrix {
+        &self.x_r
+    }
+
+    /// The no-decrease matrix `X_B`.
+    pub fn no_decrease(&self) -> &Matrix {
+        &self.x_b
+    }
+
+    /// The known-cell mask `B`.
+    pub fn mask(&self) -> &Matrix {
+        &self.b
+    }
+}
+
+/// FIFO of pending [`MeasurementBatch`]es for one deployment. Batches
+/// enter through [`UpdateService::ingest`] (which enforces
+/// non-decreasing days) and leave when a cycle drains them, oldest
+/// first.
+#[derive(Debug, Clone, Default)]
+pub struct IngestQueue {
+    batches: VecDeque<MeasurementBatch>,
+}
+
+impl IngestQueue {
+    /// Number of pending batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Day stamp of the most recently queued batch.
+    pub fn last_day(&self) -> Option<f64> {
+        self.batches.back().map(MeasurementBatch::day)
+    }
+
+    fn push(&mut self, batch: MeasurementBatch) {
+        self.batches.push_back(batch);
+    }
+
+    fn drain_all(&mut self) -> Vec<MeasurementBatch> {
+        self.batches.drain(..).collect()
+    }
+
+    fn clear(&mut self) -> usize {
+        let n = self.batches.len();
+        self.batches.clear();
+        n
+    }
+
+    fn requeue(&mut self, batches: Vec<MeasurementBatch>) {
+        for b in batches.into_iter().rev() {
+            self.batches.push_front(b);
+        }
+    }
+}
+
 /// One managed deployment: simulator, engine, and the live database.
 #[derive(Debug)]
 struct ManagedDeployment {
@@ -49,6 +233,7 @@ struct ManagedDeployment {
     /// whenever `current` is replaced so online queries never rebuild
     /// the centred dictionary per call.
     localizer: std::sync::OnceLock<Localizer>,
+    queue: IngestQueue,
     cycles_run: usize,
     last_update_day: f64,
 }
@@ -70,10 +255,57 @@ pub struct UpdateOutcome {
     pub reference_count: usize,
 }
 
+/// Everything needed to rebuild one deployment after a restart (see the
+/// module docs and [`UpdateService::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// The simulated environment (the v2 text format only accepts the
+    /// office / library / hall presets).
+    pub env: Environment,
+    /// The testbed's constructor seed.
+    pub seed: u64,
+    /// The update engine's configuration.
+    pub config: UpdaterConfig,
+    /// Update cycles committed so far.
+    pub cycles_run: usize,
+    /// Day offset of the last committed cycle (0 if none).
+    pub last_update_day: f64,
+    /// The engine's MIC reference locations — stored redundantly as an
+    /// integrity check: restore re-derives them from `prior` and
+    /// rejects a snapshot whose recorded set disagrees.
+    pub reference_locations: Vec<usize>,
+    /// The database the update engine was built from (needed to rebuild
+    /// the engine — MIC + correlation learning — bit-identically).
+    pub prior: FingerprintMatrix,
+    /// The live (latest reconstructed) database.
+    pub current: FingerprintMatrix,
+}
+
+/// A point-in-time capture of a whole fleet.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceSnapshot {
+    /// One entry per deployment, in registration order.
+    pub deployments: Vec<DeploymentSnapshot>,
+}
+
 /// A fleet of independently updating deployments (see module docs).
 #[derive(Debug, Default)]
 pub struct UpdateService {
     deployments: Vec<ManagedDeployment>,
+}
+
+/// Checks that a deployment name is a single non-empty line without
+/// surrounding whitespace — the domain both [`UpdateService::register`]
+/// and the v2 text format accept, enforced at the earliest boundary.
+pub(crate) fn validate_name(name: &str) -> Result<()> {
+    if name.is_empty() || name.trim() != name || name.lines().count() != 1 {
+        return Err(CoreError::InvalidArgument(
+            "deployment name must be a single non-empty line without surrounding whitespace",
+        ));
+    }
+    Ok(())
 }
 
 impl UpdateService {
@@ -88,7 +320,10 @@ impl UpdateService {
     ///
     /// # Errors
     ///
-    /// Propagates config validation and engine construction errors.
+    /// [`CoreError::InvalidArgument`] for a name the snapshot format
+    /// could not serialise later (empty, padded, or multi-line — caught
+    /// here, before any cycle work is done); otherwise propagates
+    /// config validation and engine construction errors.
     pub fn register(
         &mut self,
         name: impl Into<String>,
@@ -96,15 +331,18 @@ impl UpdateService {
         config: UpdaterConfig,
         survey_samples: usize,
     ) -> Result<DeploymentId> {
+        let name = name.into();
+        validate_name(&name)?;
         let prior = FingerprintMatrix::survey(&testbed, 0.0, survey_samples.max(1));
         let updater = Updater::new(prior.clone(), config)?;
         let id = DeploymentId(self.deployments.len());
         self.deployments.push(ManagedDeployment {
-            name: name.into(),
+            name,
             testbed,
             updater,
             current: prior,
             localizer: std::sync::OnceLock::new(),
+            queue: IngestQueue::default(),
             cycles_run: 0,
             last_update_day: 0.0,
         });
@@ -130,6 +368,15 @@ impl UpdateService {
         self.deployments
             .get(id.0)
             .ok_or(CoreError::InvalidArgument("unknown deployment id"))
+    }
+
+    /// Wraps `e` with the identity of deployment `idx`.
+    fn dep_err(&self, idx: usize, e: CoreError) -> CoreError {
+        CoreError::Deployment {
+            name: self.deployments[idx].name.clone(),
+            id: idx,
+            source: Box::new(e),
+        }
     }
 
     /// The deployment's registered name.
@@ -177,39 +424,176 @@ impl UpdateService {
         Ok(self.get(id)?.cycles_run)
     }
 
-    /// Runs one update cycle on **every** deployment at day offset
-    /// `day`, in parallel across deployments: each collects its fresh
-    /// reference columns and no-decrease readings, solves the
-    /// self-augmented RSVD, and commits the reconstruction as its live
-    /// database.
+    /// Day offset of the deployment's last committed update cycle
+    /// (0 before any cycle has run).
     ///
     /// # Errors
     ///
-    /// Fails atomically: if any deployment's solve fails, no database
-    /// is replaced.
-    pub fn run_cycle(&mut self, day: f64, samples: usize) -> Result<Vec<UpdateOutcome>> {
-        // Parallel phase: solve every deployment against its testbed.
-        let results: Vec<Result<(FingerprintMatrix, SolveReport)>> = self
-            .deployments
-            .par_iter()
-            .map(|dep| run_deployment_cycle(dep, day, samples))
-            .collect();
-        // Commit phase: sequential, atomic on success of all.
-        let mut fresh = Vec::with_capacity(results.len());
-        for r in results {
-            fresh.push(r?);
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn last_update_day(&self, id: DeploymentId) -> Result<f64> {
+        Ok(self.get(id)?.last_update_day)
+    }
+
+    /// The deployment's pending ingest queue.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn ingest_queue(&self, id: DeploymentId) -> Result<&IngestQueue> {
+        Ok(&self.get(id)?.queue)
+    }
+
+    /// Discards every pending batch for the deployment, returning how
+    /// many were dropped. This is the operator's escape hatch for a
+    /// poison batch: [`UpdateService::run_cycle`] requeues drained
+    /// batches on failure (atomicity), so a batch whose solve fails
+    /// deterministically would otherwise wedge every subsequent cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn clear_ingest_queue(&mut self, id: DeploymentId) -> Result<usize> {
+        self.deployments
+            .get_mut(id.0)
+            .ok_or(CoreError::InvalidArgument("unknown deployment id"))
+            .map(|dep| dep.queue.clear())
+    }
+
+    /// Queues a measurement batch for the deployment; the next
+    /// [`UpdateService::run_cycle`] will solve and commit it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id; otherwise a
+    /// [`CoreError::Deployment`]-wrapped error when the batch's shapes
+    /// do not match the deployment or its day precedes the last queued
+    /// (or last committed) day.
+    pub fn ingest(&mut self, id: DeploymentId, batch: MeasurementBatch) -> Result<()> {
+        let dep = self.get(id)?;
+        let idx = id.0;
+        let (m, n) = dep.updater.prior().matrix().shape();
+        if batch.x_b.shape() != (m, n) {
+            let e = CoreError::DimensionMismatch {
+                context: "UpdateService::ingest (x_b / b)",
+                expected: format!("{m}x{n}"),
+                got: format!("{}x{}", batch.x_b.rows(), batch.x_b.cols()),
+            };
+            return Err(self.dep_err(idx, e));
         }
+        let refs = dep.updater.reference_locations().len();
+        if batch.x_r.cols() != refs {
+            let e = CoreError::DimensionMismatch {
+                context: "UpdateService::ingest (x_r)",
+                expected: format!("{m}x{refs}"),
+                got: format!("{}x{}", batch.x_r.rows(), batch.x_r.cols()),
+            };
+            return Err(self.dep_err(idx, e));
+        }
+        let floor = dep.queue.last_day().unwrap_or(dep.last_update_day);
+        if batch.day < floor {
+            let e = CoreError::InvalidArgument("measurement batch day moves backwards");
+            return Err(self.dep_err(idx, e));
+        }
+        self.deployments[idx].queue.push(batch);
+        Ok(())
+    }
+
+    /// Runs one update cycle on **every** deployment, in parallel
+    /// across deployments. A deployment with queued measurement batches
+    /// drains them — one solve + commit per batch, oldest first, each
+    /// at its own `batch.day()` — while a deployment with an empty
+    /// queue falls back to a synchronous testbed pull at day offset
+    /// `day` with `samples` readings per surveyed cell. Outcomes are
+    /// ordered by deployment, then by batch within a deployment.
+    ///
+    /// # Errors
+    ///
+    /// Fails atomically: if any deployment's solve fails (the error is
+    /// wrapped in [`CoreError::Deployment`] naming the culprit), no
+    /// database is replaced and every drained batch returns to its
+    /// queue. Also rejects a non-finite `day`, or a `day` earlier than
+    /// the last committed cycle of any deployment that would fall back
+    /// to a pull.
+    pub fn run_cycle(&mut self, day: f64, samples: usize) -> Result<Vec<UpdateOutcome>> {
+        if !day.is_finite() {
+            return Err(CoreError::InvalidArgument("update day must be finite"));
+        }
+        for idx in 0..self.deployments.len() {
+            self.guard_day(idx, day)?;
+        }
+        let plans: Vec<Vec<MeasurementBatch>> = self
+            .deployments
+            .iter_mut()
+            .map(|d| d.queue.drain_all())
+            .collect();
+        // Parallel phase: solve every deployment's work list.
+        let work: Vec<(&ManagedDeployment, &[MeasurementBatch])> = self
+            .deployments
+            .iter()
+            .zip(plans.iter().map(Vec::as_slice))
+            .collect();
+        let results: Vec<Result<Vec<(f64, FingerprintMatrix, SolveReport)>>> = work
+            .par_iter()
+            .map(|&(dep, plan)| run_deployment_cycle(dep, plan, day, samples))
+            .collect();
+        drop(work);
+        // Commit phase: sequential, atomic on success of all.
+        if let Some((idx, e)) = results
+            .iter()
+            .enumerate()
+            .find_map(|(idx, r)| r.as_ref().err().map(|e| (idx, e.clone())))
+        {
+            // Undo the drain so a retry sees the same queues.
+            for (dep, plan) in self.deployments.iter_mut().zip(plans) {
+                dep.queue.requeue(plan);
+            }
+            return Err(self.dep_err(idx, e));
+        }
+        let fresh: Vec<Vec<(f64, FingerprintMatrix, SolveReport)>> = results
+            .into_iter()
+            .map(|r| r.expect("checked above"))
+            .collect();
         let mut outcomes = Vec::with_capacity(fresh.len());
-        for (idx, (db, report)) in fresh.into_iter().enumerate() {
-            let dep = &mut self.deployments[idx];
+        for (idx, committed) in fresh.into_iter().enumerate() {
+            self.commit_deployment(idx, committed, &mut outcomes);
+        }
+        Ok(outcomes)
+    }
+
+    /// Rejects a cycle `day` that would move deployment `idx`'s
+    /// `last_update_day` backwards through a fallback pull (queued
+    /// batches were already day-ordered at ingest). Called before
+    /// anything is drained so failures leave queues untouched.
+    fn guard_day(&self, idx: usize, day: f64) -> Result<()> {
+        let dep = &self.deployments[idx];
+        if dep.queue.is_empty() && day < dep.last_update_day {
+            return Err(self.dep_err(
+                idx,
+                CoreError::InvalidArgument("update day moves backwards"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Applies one deployment's solved work list in batch order:
+    /// replaces the live database, bumps the counters, and appends one
+    /// [`UpdateOutcome`] per batch.
+    fn commit_deployment(
+        &mut self,
+        idx: usize,
+        committed: Vec<(f64, FingerprintMatrix, SolveReport)>,
+        outcomes: &mut Vec<UpdateOutcome>,
+    ) {
+        let dep = &mut self.deployments[idx];
+        for (batch_day, db, report) in committed {
             dep.current = db;
             dep.localizer = std::sync::OnceLock::new();
             dep.cycles_run += 1;
-            dep.last_update_day = day;
+            dep.last_update_day = batch_day;
             outcomes.push(UpdateOutcome {
                 id: DeploymentId(idx),
                 name: dep.name.clone(),
-                day,
+                day: batch_day,
                 iterations: report.iterations(),
                 final_objective: *report
                     .objective_trace()
@@ -218,42 +602,165 @@ impl UpdateService {
                 reference_count: dep.updater.reference_locations().len(),
             });
         }
-        Ok(outcomes)
     }
 
-    /// Runs one update cycle for a single deployment.
+    /// [`UpdateService::run_cycle`] for a single deployment: drains its
+    /// queued batches (one outcome each), or falls back to a testbed
+    /// pull at `day` when the queue is empty.
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidArgument`] for an unknown id; otherwise
-    /// propagates solver errors.
+    /// [`CoreError::InvalidArgument`] for an unknown id; otherwise the
+    /// same wrapped-and-atomic failure behaviour as
+    /// [`UpdateService::run_cycle`].
     pub fn run_cycle_for(
         &mut self,
         id: DeploymentId,
         day: f64,
         samples: usize,
-    ) -> Result<UpdateOutcome> {
-        let dep = self
-            .deployments
-            .get(id.0)
-            .ok_or(CoreError::InvalidArgument("unknown deployment id"))?;
-        let (db, report) = run_deployment_cycle(dep, day, samples)?;
-        let dep = &mut self.deployments[id.0];
-        dep.current = db;
-        dep.localizer = std::sync::OnceLock::new();
-        dep.cycles_run += 1;
-        dep.last_update_day = day;
-        Ok(UpdateOutcome {
-            id,
-            name: dep.name.clone(),
-            day,
-            iterations: report.iterations(),
-            final_objective: *report
-                .objective_trace()
-                .last()
-                .expect("trace is never empty"),
-            reference_count: dep.updater.reference_locations().len(),
-        })
+    ) -> Result<Vec<UpdateOutcome>> {
+        if !day.is_finite() {
+            return Err(CoreError::InvalidArgument("update day must be finite"));
+        }
+        self.get(id)?;
+        let idx = id.0;
+        self.guard_day(idx, day)?;
+        let plan = self.deployments[idx].queue.drain_all();
+        let committed = match run_deployment_cycle(&self.deployments[idx], &plan, day, samples) {
+            Ok(v) => v,
+            Err(e) => {
+                self.deployments[idx].queue.requeue(plan);
+                return Err(self.dep_err(idx, e));
+            }
+        };
+        let mut outcomes = Vec::with_capacity(committed.len());
+        self.commit_deployment(idx, committed, &mut outcomes);
+        Ok(outcomes)
+    }
+
+    /// Runs `cycles` update cycles at days `start_day`, `start_day +
+    /// step_days`, … and hands a fresh [`ServiceSnapshot`] to
+    /// `on_commit` after each committed cycle — the checkpoint-on-commit
+    /// loop a durable gateway runs. Returns the outcomes of every
+    /// cycle, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for a non-finite `start_day` or a
+    /// non-positive `step_days`; otherwise propagates cycle and
+    /// `on_commit` errors (the schedule stops at the first failure,
+    /// keeping all previously committed cycles).
+    pub fn drive_schedule<F>(
+        &mut self,
+        start_day: f64,
+        step_days: f64,
+        cycles: usize,
+        samples: usize,
+        mut on_commit: F,
+    ) -> Result<Vec<Vec<UpdateOutcome>>>
+    where
+        F: FnMut(usize, &ServiceSnapshot) -> Result<()>,
+    {
+        if !start_day.is_finite() {
+            return Err(CoreError::InvalidArgument("start_day must be finite"));
+        }
+        if !(step_days > 0.0 && step_days.is_finite()) {
+            return Err(CoreError::InvalidArgument(
+                "step_days must be positive and finite",
+            ));
+        }
+        let mut all = Vec::with_capacity(cycles);
+        for k in 0..cycles {
+            let day = start_day + step_days * k as f64;
+            let outcomes = self.run_cycle(day, samples)?;
+            on_commit(k, &self.snapshot())?;
+            all.push(outcomes);
+        }
+        Ok(all)
+    }
+
+    /// Captures the whole fleet as a [`ServiceSnapshot`] (pending
+    /// ingest queues are transient and not included — see module docs).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            deployments: self
+                .deployments
+                .iter()
+                .map(|dep| DeploymentSnapshot {
+                    name: dep.name.clone(),
+                    env: dep.testbed.environment().clone(),
+                    seed: dep.testbed.seed(),
+                    config: dep.updater.config().clone(),
+                    cycles_run: dep.cycles_run,
+                    last_update_day: dep.last_update_day,
+                    reference_locations: dep.updater.reference_locations().to_vec(),
+                    prior: dep.updater.prior().clone(),
+                    current: dep.current.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a service from a snapshot: reconstructs each testbed
+    /// from its environment + seed and each update engine from its
+    /// snapshotted prior database, so subsequent cycles reproduce an
+    /// uninterrupted run bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// A [`CoreError::Deployment`]-wrapped error when a deployment's
+    /// database geometry does not match its environment, its recorded
+    /// reference set disagrees with the engine rebuilt from `prior`,
+    /// its `last_update_day` is non-finite, or engine construction
+    /// fails.
+    pub fn restore(snapshot: &ServiceSnapshot) -> Result<UpdateService> {
+        let mut deployments = Vec::with_capacity(snapshot.deployments.len());
+        for (idx, s) in snapshot.deployments.iter().enumerate() {
+            let wrap = |e: CoreError| CoreError::Deployment {
+                name: s.name.clone(),
+                id: idx,
+                source: Box::new(e),
+            };
+            if !s.last_update_day.is_finite() {
+                return Err(wrap(CoreError::InvalidArgument(
+                    "snapshot last_update_day must be finite",
+                )));
+            }
+            let testbed = Testbed::new(s.env.clone(), s.seed);
+            let d = testbed.deployment();
+            if s.prior.num_links() != d.num_links() || s.prior.num_locations() != d.num_locations()
+            {
+                return Err(wrap(CoreError::InvalidArgument(
+                    "snapshot database does not match its environment geometry",
+                )));
+            }
+            if s.current.num_links() != s.prior.num_links()
+                || s.current.num_locations() != s.prior.num_locations()
+                || s.current.locations_per_link() != s.prior.locations_per_link()
+            {
+                return Err(wrap(CoreError::InvalidArgument(
+                    "snapshot current database does not match the prior's geometry",
+                )));
+            }
+            let updater = Updater::new(s.prior.clone(), s.config.clone()).map_err(&wrap);
+            let updater = updater?;
+            if updater.reference_locations() != &s.reference_locations[..] {
+                return Err(wrap(CoreError::InvalidArgument(
+                    "snapshot reference set does not match the rebuilt engine",
+                )));
+            }
+            deployments.push(ManagedDeployment {
+                name: s.name.clone(),
+                testbed,
+                updater,
+                current: s.current.clone(),
+                localizer: std::sync::OnceLock::new(),
+                queue: IngestQueue::default(),
+                cycles_run: s.cycles_run,
+                last_update_day: s.last_update_day,
+            });
+        }
+        Ok(UpdateService { deployments })
     }
 
     /// Localizes an online measurement against the deployment's current
@@ -301,29 +808,44 @@ impl UpdateService {
             .deployments
             .get(id.0)
             .ok_or(CoreError::InvalidArgument("unknown deployment id"))?;
-        let updater = Updater::new(dep.current.clone(), dep.updater.config().clone())?;
+        let updater = Updater::new(dep.current.clone(), dep.updater.config().clone())
+            .map_err(|e| self.dep_err(id.0, e))?;
         self.deployments[id.0].updater = updater;
         Ok(())
     }
 }
 
-/// One deployment's measurement collection + solve (the parallel body
-/// of [`UpdateService::run_cycle`]).
+/// One deployment's work for a cycle (the parallel body of
+/// [`UpdateService::run_cycle`]): every queued batch in order, or a
+/// synchronous testbed pull at `day` when none is queued. Returns the
+/// `(day, database, report)` triple per solve.
 fn run_deployment_cycle(
     dep: &ManagedDeployment,
+    plan: &[MeasurementBatch],
     day: f64,
     samples: usize,
-) -> Result<(FingerprintMatrix, SolveReport)> {
-    let samples = samples.max(1);
-    let x_r = dep
-        .testbed
-        .measure_columns(dep.updater.reference_locations(), day, samples);
-    let x_b_full = dep.testbed.fingerprint_matrix(day, samples);
-    let b = crate::classify::CellClassification::from_testbed(&dep.testbed).index_matrix();
-    let x_b = b.hadamard(&x_b_full)?;
-    let report = dep.updater.update_report(&x_r, &x_b, &b)?;
-    let db = dep.updater.prior().with_matrix(report.reconstruction())?;
-    Ok((db, report))
+) -> Result<Vec<(f64, FingerprintMatrix, SolveReport)>> {
+    let pulled;
+    let batches: &[MeasurementBatch] = if plan.is_empty() {
+        pulled = [MeasurementBatch::collect(
+            &dep.testbed,
+            dep.updater.reference_locations(),
+            day,
+            samples,
+        )?];
+        &pulled
+    } else {
+        plan
+    };
+    let mut out = Vec::with_capacity(batches.len());
+    for batch in batches {
+        let report = dep
+            .updater
+            .update_report(&batch.x_r, &batch.x_b, &batch.b)?;
+        let db = dep.updater.prior().with_matrix(report.reconstruction())?;
+        out.push((batch.day, db, report));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -355,7 +877,10 @@ mod tests {
         assert_eq!(s.name(ids[1]).unwrap(), "site-1");
         assert!(s.fingerprint(ids[0]).unwrap().num_links() > 0);
         assert_eq!(s.cycles_run(ids[2]).unwrap(), 0);
+        assert_eq!(s.last_update_day(ids[2]).unwrap(), 0.0);
+        assert!(s.ingest_queue(ids[0]).unwrap().is_empty());
         assert!(s.name(DeploymentId(99)).is_err());
+        assert!(s.last_update_day(DeploymentId(99)).is_err());
     }
 
     #[test]
@@ -369,6 +894,7 @@ mod tests {
             assert!(o.final_objective.is_finite());
             assert!(o.reference_count >= 1);
             assert_eq!(s.cycles_run(id).unwrap(), 1);
+            assert_eq!(s.last_update_day(id).unwrap(), 45.0);
         }
         // Every reconstructed database beats its stale prior.
         for id in s.ids() {
@@ -435,5 +961,293 @@ mod tests {
         let mut s = UpdateService::new();
         assert!(s.run_cycle(1.0, 1).unwrap().is_empty());
         assert!(s.run_cycle_for(DeploymentId(0), 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn day_cannot_move_backwards() {
+        let mut s = fleet();
+        s.run_cycle(30.0, 2).unwrap();
+        let err = s.run_cycle(15.0, 2).unwrap_err();
+        match err {
+            CoreError::Deployment { name, id, .. } => {
+                assert_eq!(name, "site-0");
+                assert_eq!(id, 0);
+            }
+            other => panic!("expected a deployment-wrapped error, got {other:?}"),
+        }
+        // State untouched by the rejected cycle.
+        for id in s.ids() {
+            assert_eq!(s.cycles_run(id).unwrap(), 1);
+            assert_eq!(s.last_update_day(id).unwrap(), 30.0);
+        }
+        assert!(s.run_cycle(f64::NAN, 2).is_err());
+        assert!(s.run_cycle_for(s.ids()[0], 10.0, 2).is_err());
+        // Re-running at the same day is allowed (idempotent re-survey).
+        s.run_cycle(30.0, 2).unwrap();
+    }
+
+    #[test]
+    fn ingest_feeds_cycles_and_falls_back_to_pull() {
+        let mut queued = fleet();
+        let mut pulled = fleet();
+        let ids = queued.ids();
+
+        // Queue two batches on site-0, one on site-1, none on site-2.
+        for (k, &id) in ids.iter().enumerate() {
+            let days: &[f64] = match k {
+                0 => &[5.0, 15.0],
+                1 => &[15.0],
+                _ => &[],
+            };
+            for &d in days {
+                let b = MeasurementBatch::collect(
+                    queued.testbed(id).unwrap(),
+                    queued.updater(id).unwrap().reference_locations(),
+                    d,
+                    5,
+                )
+                .unwrap();
+                queued.ingest(id, b).unwrap();
+            }
+        }
+        assert_eq!(queued.ingest_queue(ids[0]).unwrap().len(), 2);
+        assert_eq!(queued.ingest_queue(ids[0]).unwrap().last_day(), Some(15.0));
+
+        let outcomes = queued.run_cycle(15.0, 5).unwrap();
+        // 2 (queued) + 1 (queued) + 1 (fallback pull) outcomes.
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0].day, 5.0);
+        assert_eq!(outcomes[1].day, 15.0);
+        for id in queued.ids() {
+            assert!(queued.ingest_queue(id).unwrap().is_empty());
+        }
+        assert_eq!(queued.cycles_run(ids[0]).unwrap(), 2);
+        assert_eq!(queued.cycles_run(ids[2]).unwrap(), 1);
+
+        // Queue-fed and pull-fed cycles commit identical databases.
+        pulled.run_cycle(15.0, 5).unwrap();
+        for id in queued.ids() {
+            assert!(queued
+                .fingerprint(id)
+                .unwrap()
+                .matrix()
+                .approx_eq(pulled.fingerprint(id).unwrap().matrix(), 0.0));
+        }
+    }
+
+    #[test]
+    fn ingest_validates_shape_and_day_order() {
+        let mut s = fleet();
+        let id = s.ids()[0];
+        let good = MeasurementBatch::collect(
+            s.testbed(id).unwrap(),
+            s.updater(id).unwrap().reference_locations(),
+            10.0,
+            2,
+        )
+        .unwrap();
+
+        // Wrong deployment: library has 6 links, office 8.
+        let lib = s
+            .ids()
+            .into_iter()
+            .find(|&i| s.testbed(i).unwrap().deployment().num_links() != 8)
+            .unwrap();
+        assert!(matches!(
+            s.ingest(lib, good.clone()),
+            Err(CoreError::Deployment { .. })
+        ));
+
+        s.ingest(id, good.clone()).unwrap();
+        // Day earlier than the last queued batch.
+        let earlier = MeasurementBatch::new(
+            5.0,
+            good.reference_columns().clone(),
+            good.no_decrease().clone(),
+            good.mask().clone(),
+        )
+        .unwrap();
+        assert!(s.ingest(id, earlier).is_err());
+        assert_eq!(s.ingest_queue(id).unwrap().len(), 1);
+
+        assert!(MeasurementBatch::new(
+            f64::NAN,
+            good.reference_columns().clone(),
+            good.no_decrease().clone(),
+            good.mask().clone(),
+        )
+        .is_err());
+
+        // A NaN reading must be rejected at the ingest boundary: it
+        // would survive the solve, poison the committed database, and
+        // make every later snapshot fail.
+        let mut poisoned = good.no_decrease().clone();
+        poisoned[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            MeasurementBatch::new(
+                10.0,
+                good.reference_columns().clone(),
+                poisoned,
+                good.mask().clone()
+            ),
+            Err(CoreError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn clear_ingest_queue_evicts_pending_batches() {
+        let mut s = fleet();
+        let id = s.ids()[0];
+        for day in [5.0, 10.0] {
+            let b = MeasurementBatch::collect(
+                s.testbed(id).unwrap(),
+                s.updater(id).unwrap().reference_locations(),
+                day,
+                2,
+            )
+            .unwrap();
+            s.ingest(id, b).unwrap();
+        }
+        assert_eq!(s.clear_ingest_queue(id).unwrap(), 2);
+        assert!(s.ingest_queue(id).unwrap().is_empty());
+        assert_eq!(s.clear_ingest_queue(id).unwrap(), 0);
+        assert!(s.clear_ingest_queue(DeploymentId(99)).is_err());
+    }
+
+    #[test]
+    fn register_rejects_unserialisable_names() {
+        let mut s = UpdateService::new();
+        for bad in ["", " padded", "padded ", "two\nlines"] {
+            assert!(
+                s.register(
+                    bad,
+                    Testbed::new(Environment::office(), 1),
+                    UpdaterConfig::default(),
+                    2,
+                )
+                .is_err(),
+                "name {bad:?} must be rejected at registration time"
+            );
+        }
+        assert!(s.is_empty());
+        // Internal spaces stay fine.
+        s.register(
+            "site 0",
+            Testbed::new(Environment::office(), 1),
+            UpdaterConfig::default(),
+            2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_fleet_state() {
+        let mut s = fleet();
+        s.run_cycle(15.0, 5).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.deployments.len(), 3);
+
+        let restored = UpdateService::restore(&snap).unwrap();
+        assert_eq!(restored.len(), s.len());
+        for (a, b) in s.ids().into_iter().zip(restored.ids()) {
+            assert_eq!(s.name(a).unwrap(), restored.name(b).unwrap());
+            assert_eq!(s.cycles_run(a).unwrap(), restored.cycles_run(b).unwrap());
+            assert_eq!(
+                s.last_update_day(a).unwrap(),
+                restored.last_update_day(b).unwrap()
+            );
+            assert_eq!(s.fingerprint(a).unwrap(), restored.fingerprint(b).unwrap());
+            assert_eq!(
+                s.updater(a).unwrap().reference_locations(),
+                restored.updater(b).unwrap().reference_locations()
+            );
+        }
+        // A second snapshot of the restored service is identical.
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn restore_continues_bit_identically() {
+        let mut uninterrupted = fleet();
+        let mut crashed = fleet();
+        for day in [5.0, 15.0] {
+            uninterrupted.run_cycle(day, 5).unwrap();
+            crashed.run_cycle(day, 5).unwrap();
+        }
+        let snap = crashed.snapshot();
+        drop(crashed);
+        let mut resumed = UpdateService::restore(&snap).unwrap();
+        for day in [45.0, 90.0] {
+            uninterrupted.run_cycle(day, 5).unwrap();
+            resumed.run_cycle(day, 5).unwrap();
+        }
+        for (a, b) in uninterrupted.ids().into_iter().zip(resumed.ids()) {
+            assert!(uninterrupted
+                .fingerprint(a)
+                .unwrap()
+                .matrix()
+                .approx_eq(resumed.fingerprint(b).unwrap().matrix(), 0.0));
+            assert_eq!(
+                uninterrupted.cycles_run(a).unwrap(),
+                resumed.cycles_run(b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_tampered_snapshots() {
+        let mut s = fleet();
+        s.run_cycle(5.0, 2).unwrap();
+        let snap = s.snapshot();
+
+        let mut bad_refs = snap.clone();
+        bad_refs.deployments[0].reference_locations = vec![0, 1];
+        assert!(matches!(
+            UpdateService::restore(&bad_refs),
+            Err(CoreError::Deployment { id: 0, .. })
+        ));
+
+        let mut bad_day = snap.clone();
+        bad_day.deployments[1].last_update_day = f64::NAN;
+        assert!(matches!(
+            UpdateService::restore(&bad_day),
+            Err(CoreError::Deployment { id: 1, .. })
+        ));
+
+        let mut bad_geom = snap.clone();
+        bad_geom.deployments[0].prior = bad_geom.deployments[1].prior.clone();
+        assert!(UpdateService::restore(&bad_geom).is_err());
+    }
+
+    #[test]
+    fn drive_schedule_checkpoints_every_cycle() {
+        let mut s = fleet();
+        let mut checkpoints: Vec<(usize, ServiceSnapshot)> = Vec::new();
+        let all = s
+            .drive_schedule(10.0, 10.0, 3, 2, |k, snap| {
+                checkpoints.push((k, snap.clone()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(checkpoints.len(), 3);
+        assert_eq!(checkpoints.last().unwrap().1, s.snapshot());
+        for (k, snap) in &checkpoints {
+            for d in &snap.deployments {
+                assert_eq!(d.cycles_run, k + 1);
+                assert_eq!(d.last_update_day, 10.0 + 10.0 * *k as f64);
+            }
+        }
+        assert!(s.drive_schedule(1.0, 0.0, 1, 1, |_, _| Ok(())).is_err());
+        assert!(s
+            .drive_schedule(f64::INFINITY, 1.0, 1, 1, |_, _| Ok(()))
+            .is_err());
+        // A failing on_commit stops the schedule but keeps the cycle.
+        let before = s.cycles_run(s.ids()[0]).unwrap();
+        let err = s.drive_schedule(40.0, 1.0, 2, 1, |_, _| {
+            Err(CoreError::InvalidArgument("checkpoint disk full"))
+        });
+        assert!(err.is_err());
+        assert_eq!(s.cycles_run(s.ids()[0]).unwrap(), before + 1);
     }
 }

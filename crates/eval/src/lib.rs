@@ -16,6 +16,7 @@ pub mod report;
 pub mod scenario;
 
 pub mod ablations;
+pub mod ext_durability;
 pub mod ext_fleet;
 pub mod ext_samples;
 pub mod ext_scale;
@@ -168,6 +169,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "ext-fleet",
             "Batched update service across the fleet (this repo)",
             ext_fleet::run,
+        ),
+        (
+            "ext-durability",
+            "Durable fleet: kill/restore parity mid-campaign (this repo)",
+            ext_durability::run,
         ),
     ]
 }

@@ -90,6 +90,13 @@ impl Testbed {
         &self.env
     }
 
+    /// The constructor seed. All testbed randomness derives from it, so
+    /// `Testbed::new(env.clone(), seed)` rebuilds this exact testbed —
+    /// which is what service snapshots persist.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The link/grid geometry.
     pub fn deployment(&self) -> &Deployment {
         &self.deployment

@@ -96,7 +96,34 @@ fn main() -> ExitCode {
                 eprintln!("batch requires --envs and --days (comma-separated lists)");
                 return ExitCode::from(2);
             };
-            cli::cmd_batch(&envs, seed, &days, samples).map(|r| print!("{r}"))
+            let snapshot_dir = get("snapshot-dir").map(std::path::PathBuf::from);
+            cli::cmd_batch(&envs, seed, &days, samples, snapshot_dir.as_deref())
+                .map(|r| print!("{r}"))
+        }
+        "snapshot" => {
+            let Some(envs) = get("envs") else {
+                eprintln!("snapshot requires --envs (comma-separated list)");
+                return ExitCode::from(2);
+            };
+            let days = get("days").unwrap_or_default();
+            cli::cmd_snapshot(&envs, seed, &days, samples).map(|snap| print!("{snap}"))
+        }
+        "restore" => {
+            let Some(snap_path) = get("snapshot") else {
+                eprintln!("restore requires --snapshot <snap file>");
+                return ExitCode::from(2);
+            };
+            let days = get("days").unwrap_or_default();
+            match fs::read_to_string(&snap_path) {
+                Ok(text) => cli::cmd_restore(&text, &days, samples).map(|(snap, report)| {
+                    eprint!("{report}");
+                    print!("{snap}");
+                }),
+                Err(e) => {
+                    eprintln!("cannot read {snap_path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
         }
         "help" | "--help" | "-h" => {
             println!("{}", cli::usage());

@@ -4,6 +4,7 @@
 //! these functions, which are unit-tested directly.
 
 use std::fmt::Write as _;
+use std::path::Path;
 
 use crate::core::persist;
 use crate::core::prelude::*;
@@ -164,40 +165,29 @@ pub fn cmd_info(db_text: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `batch`: registers one deployment per listed environment with the
-/// [`UpdateService`] and runs parallel update cycles at each listed
-/// day, printing a per-deployment/per-day report. `envs` and `days`
-/// are comma-separated lists.
-///
-/// # Errors
-///
-/// Returns [`CliError`] on malformed lists or pipeline failure.
-pub fn cmd_batch(envs: &str, seed: u64, days: &str, samples: usize) -> Result<String, CliError> {
-    let env_list: Vec<&str> = envs
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
-    if env_list.is_empty() {
-        return Err(CliError::Usage(
-            "batch requires at least one environment".into(),
-        ));
-    }
-    let day_list: Vec<f64> = days
-        .split(',')
+/// Parses a comma-separated day list; empty input yields an empty list.
+fn parse_day_list(days: &str) -> Result<Vec<f64>, CliError> {
+    days.split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .map(|s| {
             s.parse::<f64>()
                 .map_err(|_| CliError::Usage(format!("bad day value '{s}'")))
         })
-        .collect::<Result<_, _>>()?;
-    if day_list.is_empty() {
-        return Err(CliError::Usage(
-            "batch requires at least one --days value".into(),
-        ));
-    }
+        .collect()
+}
 
+/// Registers one deployment per listed environment (comma-separated)
+/// with a fresh [`UpdateService`].
+fn build_fleet(envs: &str, seed: u64) -> Result<UpdateService, CliError> {
+    let env_list: Vec<&str> = envs
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if env_list.is_empty() {
+        return Err(CliError::Usage("at least one environment required".into()));
+    }
     let mut service = UpdateService::new();
     for (k, name) in env_list.iter().enumerate() {
         let env = parse_environment(name)?;
@@ -206,6 +196,65 @@ pub fn cmd_batch(envs: &str, seed: u64, days: &str, samples: usize) -> Result<St
             .register(format!("{name}-{k}"), testbed, UpdaterConfig::default(), 20)
             .map_err(|e| CliError::Pipeline(e.to_string()))?;
     }
+    Ok(service)
+}
+
+/// Per-deployment summary lines: name, committed cycles, last update day.
+fn fleet_summary(service: &UpdateService, out: &mut String) -> Result<(), CliError> {
+    let err = |e: iupdater_core::CoreError| CliError::Pipeline(e.to_string());
+    for id in service.ids() {
+        let _ = writeln!(
+            out,
+            "{}: {} cycle(s) completed, last update day {}",
+            service.name(id).map_err(err)?,
+            service.cycles_run(id).map_err(err)?,
+            service.last_update_day(id).map_err(err)?,
+        );
+    }
+    Ok(())
+}
+
+/// Serialises the service's current snapshot to the v2 text format.
+fn render_snapshot(service: &UpdateService) -> Result<String, CliError> {
+    let mut buf = Vec::new();
+    persist::write_service(&service.snapshot(), &mut buf)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    String::from_utf8(buf).map_err(|e| CliError::Pipeline(e.to_string()))
+}
+
+/// `batch`: registers one deployment per listed environment with the
+/// [`UpdateService`] and runs parallel update cycles at each listed
+/// day, printing a per-deployment/per-day report. `envs` and `days`
+/// are comma-separated lists. With `snapshot_dir`, the fleet is
+/// checkpointed to `<dir>/fleet.snap` after every committed cycle, so
+/// a killed batch can be resumed with `restore`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed lists, pipeline failure, or an
+/// unwritable snapshot directory.
+pub fn cmd_batch(
+    envs: &str,
+    seed: u64,
+    days: &str,
+    samples: usize,
+    snapshot_dir: Option<&Path>,
+) -> Result<String, CliError> {
+    let day_list = parse_day_list(days)?;
+    if day_list.is_empty() {
+        return Err(CliError::Usage(
+            "batch requires at least one --days value".into(),
+        ));
+    }
+    let mut service = build_fleet(envs, seed)?;
+    let snap_path = match snapshot_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::Pipeline(format!("cannot create {}: {e}", dir.display())))?;
+            Some(dir.join("fleet.snap"))
+        }
+        None => None,
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -225,20 +274,69 @@ pub fn cmd_batch(envs: &str, seed: u64, days: &str, samples: usize) -> Result<St
                 o.name, o.reference_count, o.iterations, o.final_objective
             );
         }
+        if let Some(path) = &snap_path {
+            persist::write_service_to_path(&service.snapshot(), path)
+                .map_err(|e| CliError::Pipeline(format!("cannot write {}: {e}", path.display())))?;
+            let _ = writeln!(out, "checkpoint written: {}", path.display());
+        }
     }
-    for id in service.ids() {
-        let _ = writeln!(
-            out,
-            "{}: {} cycle(s) completed",
-            service
-                .name(id)
-                .map_err(|e| CliError::Pipeline(e.to_string()))?,
-            service
-                .cycles_run(id)
-                .map_err(|e| CliError::Pipeline(e.to_string()))?,
-        );
-    }
+    fleet_summary(&service, &mut out)?;
     Ok(out)
+}
+
+/// `snapshot`: builds a fleet (one deployment per environment), runs
+/// an optional sequence of update cycles, and returns the v2 service
+/// snapshot — the durable form of the fleet, restorable with
+/// [`cmd_restore`].
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed lists or pipeline failure.
+pub fn cmd_snapshot(envs: &str, seed: u64, days: &str, samples: usize) -> Result<String, CliError> {
+    let day_list = parse_day_list(days)?;
+    let mut service = build_fleet(envs, seed)?;
+    for &day in &day_list {
+        service
+            .run_cycle(day, samples.max(1))
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    }
+    render_snapshot(&service)
+}
+
+/// `restore`: rebuilds a fleet from a serialised v2 snapshot, runs
+/// update cycles at each listed day (the list may be empty to just
+/// inspect), and returns the updated snapshot plus a human-readable
+/// report of the fleet's state.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on a malformed snapshot or pipeline failure.
+pub fn cmd_restore(
+    snapshot_text: &str,
+    days: &str,
+    samples: usize,
+) -> Result<(String, String), CliError> {
+    let day_list = parse_day_list(days)?;
+    let snap = persist::read_service(snapshot_text.as_bytes())
+        .map_err(|e| CliError::Pipeline(format!("cannot read snapshot: {e}")))?;
+    let mut service = UpdateService::restore(&snap)
+        .map_err(|e| CliError::Pipeline(format!("cannot restore fleet: {e}")))?;
+    let mut report = String::new();
+    let _ = writeln!(report, "restored fleet: {} deployment(s)", service.len());
+    for &day in &day_list {
+        let outcomes = service
+            .run_cycle(day, samples.max(1))
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        for o in outcomes {
+            let _ = writeln!(
+                report,
+                "day {day:>5.1}  {:<12} refs={:<2} iters={:<3} objective={:.3e}",
+                o.name, o.reference_count, o.iterations, o.final_objective
+            );
+        }
+    }
+    fleet_summary(&service, &mut report)?;
+    Ok((render_snapshot(&service)?, report))
 }
 
 /// Top-level usage text for the binary.
@@ -251,10 +349,17 @@ pub fn usage() -> &'static str {
        iupdater localize --env <...> --db <db file> --cell J [--seed N] [--day D]\n\
        iupdater info     --db <db file>\n\
        iupdater batch    --envs <e1,e2,...> --days <d1,d2,...> [--seed N] [--samples S]\n\
+                         [--snapshot-dir DIR]\n\
+       iupdater snapshot --envs <e1,e2,...> [--days <d1,...>] [--seed N] [--samples S]\n\
+       iupdater restore  --snapshot <snap file> [--days <d1,...>] [--samples S]\n\
      \n\
      `survey` and `update` print the database to stdout (redirect to a file).\n\
      `batch` runs an update-service fleet: one deployment per environment,\n\
-     update cycles across all deployments in parallel at each listed day."
+     update cycles across all deployments in parallel at each listed day;\n\
+     with --snapshot-dir the fleet is checkpointed to DIR/fleet.snap after\n\
+     every cycle. `snapshot` prints a durable fleet snapshot to stdout;\n\
+     `restore` resumes one, runs more cycles, and prints the updated\n\
+     snapshot (fleet report goes to stderr)."
 }
 
 #[cfg(test)]
@@ -292,7 +397,7 @@ mod tests {
 
     #[test]
     fn batch_runs_fleet_cycles() {
-        let report = cmd_batch("office,library", 3, "5, 15", 2).unwrap();
+        let report = cmd_batch("office,library", 3, "5, 15", 2, None).unwrap();
         assert!(
             report.contains("2 deployment(s), 2 cycle day(s)"),
             "{report}"
@@ -302,23 +407,83 @@ mod tests {
         assert!(report.contains("day   5.0"));
         assert!(report.contains("day  15.0"));
         assert!(report.contains("office-0: 2 cycle(s) completed"));
+        assert!(report.contains("last update day 15"));
     }
 
     #[test]
     fn batch_rejects_bad_lists() {
-        assert!(matches!(cmd_batch("", 1, "5", 2), Err(CliError::Usage(_))));
         assert!(matches!(
-            cmd_batch("office", 1, "abc", 2),
+            cmd_batch("", 1, "5", 2, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_batch("office", 1, "", 2),
+            cmd_batch("office", 1, "abc", 2, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_batch("mall", 1, "5", 2),
+            cmd_batch("office", 1, "", 2, None),
             Err(CliError::Usage(_))
         ));
+        assert!(matches!(
+            cmd_batch("mall", 1, "5", 2, None),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_continues_fleet() {
+        // Snapshot a two-environment fleet after one cycle…
+        let snap = cmd_snapshot("office,library", 7, "5", 2).unwrap();
+        assert!(snap.starts_with("iupdater-service v2"));
+        // …restore it and run a later cycle.
+        let (snap2, report) = cmd_restore(&snap, "15", 2).unwrap();
+        assert!(
+            report.contains("restored fleet: 2 deployment(s)"),
+            "{report}"
+        );
+        assert!(report.contains("office-0: 2 cycle(s) completed"));
+        assert!(report.contains("last update day 15"));
+        // The continued run matches an uninterrupted one exactly.
+        let uninterrupted = cmd_snapshot("office,library", 7, "5,15", 2).unwrap();
+        assert_eq!(snap2, uninterrupted);
+        // Restoring without days just reports the fleet.
+        let (unchanged, report) = cmd_restore(&snap, "", 2).unwrap();
+        assert_eq!(unchanged, snap);
+        assert!(report.contains("1 cycle(s) completed"));
+    }
+
+    #[test]
+    fn restore_rejects_garbage_and_stale_days() {
+        assert!(matches!(
+            cmd_restore("not a snapshot", "5", 2),
+            Err(CliError::Pipeline(_))
+        ));
+        let snap = cmd_snapshot("office", 7, "15", 2).unwrap();
+        // A cycle day earlier than the snapshot's last update must fail.
+        assert!(matches!(
+            cmd_restore(&snap, "5", 2),
+            Err(CliError::Pipeline(_))
+        ));
+    }
+
+    #[test]
+    fn batch_checkpoints_to_snapshot_dir() {
+        let dir = std::env::temp_dir().join(format!(
+            "iupdater-cli-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let report = cmd_batch("office", 3, "5,15", 2, Some(&dir)).unwrap();
+        let path = dir.join("fleet.snap");
+        assert!(
+            report.contains(&format!("checkpoint written: {}", path.display())),
+            "{report}"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The final checkpoint restores to the finished fleet.
+        let (_, restored_report) = cmd_restore(&text, "", 2).unwrap();
+        assert!(restored_report.contains("2 cycle(s) completed"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
