@@ -43,6 +43,41 @@
 //!    [`service::UpdateService`] runs update cycles across its fleet
 //!    in parallel and owns each deployment's live database.
 //!
+//! # Architecture: incremental updater construction
+//!
+//! Building an update engine ([`Updater::new`]) means extracting the
+//! MIC reference locations (pivoted QR) and learning the correlation
+//! matrix `Z` (LRR) — after [`service::UpdateService::rebase`] this
+//! was the fleet's dominant fixed cost. Three mechanisms, one per
+//! layer, make (re)construction incremental while keeping every fast
+//! path *numerically identical* to the from-scratch one (pinned to
+//! `<= 1e-9` by `tests/warm_start_parity.rs`):
+//!
+//! 1. **Updatable RRQR** (`iupdater_linalg::qr`):
+//!    `PivotedQr::{append_columns, remove_columns,
+//!    refactor_if_drifted}` extend/shrink a pivoted factorisation in
+//!    place, and `Matrix::certify_pivot_seed` proves that greedy
+//!    pivoting on a new matrix would re-select a previous pivot set.
+//!    *Drift-tolerance fallback rule:* every pivot decision must hold
+//!    with a relative dominance margin of at least
+//!    `iupdater_linalg::qr::PIVOT_DRIFT_TOL` (`1e-8`); a decision
+//!    inside the margin — or a genuinely changed selection — falls
+//!    back to the full greedy sweep, so the fast path can change cost
+//!    but never the answer.
+//! 2. **LRR exactness certificate** (`iupdater_linalg::lrr`): when the
+//!    prior is exactly representable by its MIC columns and the
+//!    dictionary satisfies `sigma_min(A) * eps >= sqrt(r)`, the LRR
+//!    minimiser is provably the least-squares solution and the ALM
+//!    loop is skipped. Rebased priors are exact low-rank products, so
+//!    re-anchoring no longer pays the iterative solve — on *either*
+//!    construction path, which is why parity is preserved.
+//! 3. **Warm-start constructors** ([`Updater::warm_start`],
+//!    [`Updater::from_basis`]): `rebase` re-certifies the previous MIC
+//!    pivot set instead of re-running the greedy sweep, and restore
+//!    rebuilds engines directly from the *warm-start basis* (reference
+//!    locations + full-precision `Z`) recorded in v3 service snapshots
+//!    ([`persist`]), skipping MIC and LRR entirely.
+//!
 //! # Quickstart
 //!
 //! ```

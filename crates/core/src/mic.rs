@@ -55,18 +55,10 @@ pub fn extract_mic(x: &Matrix, method: MicMethod, rank_tol: f64) -> Result<MicSe
         return Err(CoreError::InvalidArgument("rank_tol must be in (0, 1)"));
     }
     let mut locations = match method {
-        MicMethod::PivotedQr => {
-            let pqr = x.pivoted_qr()?;
-            let k = pqr.r.rows();
-            let r00 = pqr.r[(0, 0)].abs();
-            if r00 == 0.0 {
-                return Err(CoreError::InvalidArgument("MIC of zero matrix"));
-            }
-            let rank = (0..k)
-                .take_while(|&i| pqr.r[(i, i)].abs() > rank_tol * r00)
-                .count();
-            pqr.leading_columns(rank)
-        }
+        // The one-shot leading-columns query: no factor is
+        // materialised or retained (a zero matrix yields an empty
+        // list, rejected below).
+        MicMethod::PivotedQr => x.pivoted_leading_columns(rank_tol)?,
         MicMethod::Echelon => x.column_echelon(rank_tol)?.independent_cols,
     };
     if locations.is_empty() {
@@ -77,11 +69,104 @@ pub fn extract_mic(x: &Matrix, method: MicMethod, rank_tol: f64) -> Result<MicSe
     Ok(MicSelection { locations, vectors })
 }
 
+/// Outcome of [`MicSelection::update`]: the refreshed selection plus
+/// whether the previous pivot set could be certified (fast path) or a
+/// full extraction ran (fallback).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicUpdate {
+    /// The refreshed selection — always exactly what
+    /// [`extract_mic`] would return on the new matrix.
+    pub selection: MicSelection,
+    /// `true` when the previous pivot set was certified against the
+    /// new matrix and reused; `false` when the selection was
+    /// re-extracted from scratch (the previous set no longer survives
+    /// greedy pivoting, or a pivot decision fell inside the drift
+    /// margin).
+    pub reused: bool,
+}
+
 impl MicSelection {
     /// Number of reference locations (= numerical rank).
     pub fn rank(&self) -> usize {
         self.locations.len()
     }
+
+    /// Re-extracts the MIC selection from a *new* matrix (e.g. the
+    /// latest reconstructed fingerprint database) by re-pivoting
+    /// against this selection's locations.
+    ///
+    /// Fast path: [`Matrix::certify_pivot_seed`] proves that greedy
+    /// column-pivoted QR on `x_new` would select exactly these
+    /// locations, skipping the full greedy sweep. Certification uses
+    /// the [`iupdater_linalg::qr::PIVOT_DRIFT_TOL`] dominance margin —
+    /// the drift-tolerance fallback rule: any pivot decision closer
+    /// than the margin is ambiguous and forces the fallback. When
+    /// certification fails, the selection is recomputed by
+    /// [`extract_mic`], so the result is *always* identical to a
+    /// from-scratch extraction (the fast path only ever changes cost,
+    /// never the answer).
+    ///
+    /// [`MicMethod::Echelon`] has no certified fast path and always
+    /// falls back.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`extract_mic`] on `(x_new, method,
+    /// rank_tol)`, plus [`CoreError::DimensionMismatch`] when `x_new`
+    /// has fewer rows or columns than this selection references.
+    pub fn update(&self, x_new: &Matrix, method: MicMethod, rank_tol: f64) -> Result<MicUpdate> {
+        update_selection(&self.locations, x_new, method, rank_tol)
+    }
+}
+
+/// [`MicSelection::update`] seeded by bare location indices (sorted
+/// ascending) — the form the updater keeps across rebuilds.
+pub(crate) fn update_selection(
+    locations: &[usize],
+    x_new: &Matrix,
+    method: MicMethod,
+    rank_tol: f64,
+) -> Result<MicUpdate> {
+    if x_new.is_empty() {
+        return Err(CoreError::InvalidArgument("MIC of empty matrix"));
+    }
+    if rank_tol <= 0.0 || rank_tol >= 1.0 {
+        return Err(CoreError::InvalidArgument("rank_tol must be in (0, 1)"));
+    }
+    let max_loc = *locations
+        .iter()
+        .max()
+        .ok_or(CoreError::InvalidArgument("empty MIC seed"))?;
+    if max_loc >= x_new.cols() || locations.len() > x_new.rows().min(x_new.cols()) {
+        return Err(CoreError::DimensionMismatch {
+            context: "MicSelection::update",
+            expected: format!(
+                "at least {} columns and rank capacity {}",
+                max_loc + 1,
+                locations.len()
+            ),
+            got: format!("{}x{}", x_new.rows(), x_new.cols()),
+        });
+    }
+    if method == MicMethod::PivotedQr {
+        let certified =
+            x_new.certify_pivot_seed(locations, rank_tol, iupdater_linalg::qr::PIVOT_DRIFT_TOL)?;
+        if certified.is_some() {
+            // The certified chain set equals `locations` as a set;
+            // `extract_mic` reports locations sorted ascending.
+            let mut locations = locations.to_vec();
+            locations.sort_unstable();
+            let vectors = x_new.select_cols(&locations);
+            return Ok(MicUpdate {
+                selection: MicSelection { locations, vectors },
+                reused: true,
+            });
+        }
+    }
+    Ok(MicUpdate {
+        selection: extract_mic(x_new, method, rank_tol)?,
+        reused: false,
+    })
 }
 
 #[cfg(test)]
@@ -172,5 +257,87 @@ mod tests {
         let a = extract_mic(&x, MicMethod::PivotedQr, 1e-8).unwrap();
         let b = extract_mic(&x, MicMethod::Echelon, 1e-8).unwrap();
         assert_eq!(a.rank(), b.rank());
+    }
+
+    /// A full-rank matrix with a dominant well-separated block, whose
+    /// selection is stable under small drift.
+    fn separated(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis = Matrix::from_fn(
+            m,
+            m,
+            |i, j| {
+                if i == j {
+                    9.0
+                } else {
+                    rng.gen::<f64>() * 0.5
+                }
+            },
+        );
+        let mix = Matrix::from_fn(m, n, |_, _| rng.gen::<f64>() * 0.3 - 0.15);
+        let mut x = basis.matmul(&mix).unwrap();
+        for i in 0..m {
+            for j in 0..m {
+                x[(i, j)] += basis[(i, j)] * 2.0;
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn update_reuses_selection_under_small_drift() {
+        let x = separated(6, 20, 23);
+        let prev = extract_mic(&x, MicMethod::PivotedQr, 1e-6).unwrap();
+        // Gentle multiplicative drift keeps the pivot order.
+        let drifted = x.map(|v| v * 1.001 + 1e-7);
+        let upd = prev.update(&drifted, MicMethod::PivotedQr, 1e-6).unwrap();
+        assert!(upd.reused, "stable drift should certify the previous set");
+        let fresh = extract_mic(&drifted, MicMethod::PivotedQr, 1e-6).unwrap();
+        assert_eq!(
+            upd.selection, fresh,
+            "fast path must equal fresh extraction"
+        );
+    }
+
+    #[test]
+    fn update_falls_back_when_selection_changes() {
+        let x = separated(6, 20, 24);
+        let prev = extract_mic(&x, MicMethod::PivotedQr, 1e-6).unwrap();
+        // Boost a previously dominated column far above everything: the
+        // old set can no longer be the greedy's choice.
+        let boosted_col = (0..20)
+            .find(|j| !prev.locations.contains(j))
+            .expect("some non-selected column");
+        let mut changed = x.clone();
+        for i in 0..6 {
+            changed[(i, boosted_col)] = if i == 0 { 500.0 } else { (i as f64) * 40.0 };
+        }
+        let upd = prev.update(&changed, MicMethod::PivotedQr, 1e-6).unwrap();
+        assert!(!upd.reused, "a changed selection must fall back");
+        let fresh = extract_mic(&changed, MicMethod::PivotedQr, 1e-6).unwrap();
+        assert_eq!(upd.selection, fresh);
+        assert!(upd.selection.locations.contains(&boosted_col));
+    }
+
+    #[test]
+    fn update_echelon_always_falls_back_but_matches() {
+        let x = low_rank(6, 18, 3, 25);
+        let prev = extract_mic(&x, MicMethod::Echelon, 1e-8).unwrap();
+        let upd = prev.update(&x, MicMethod::Echelon, 1e-8).unwrap();
+        assert!(!upd.reused);
+        assert_eq!(upd.selection, prev);
+    }
+
+    #[test]
+    fn update_validates_arguments() {
+        let x = separated(5, 12, 26);
+        let prev = extract_mic(&x, MicMethod::PivotedQr, 1e-6).unwrap();
+        assert!(prev
+            .update(&Matrix::zeros(0, 0), MicMethod::PivotedQr, 1e-6)
+            .is_err());
+        assert!(prev.update(&x, MicMethod::PivotedQr, 0.0).is_err());
+        // Too few columns for the recorded locations.
+        let narrow = x.select_cols(&[0, 1, 2]);
+        assert!(prev.update(&narrow, MicMethod::PivotedQr, 1e-6).is_err());
     }
 }

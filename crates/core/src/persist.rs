@@ -19,19 +19,22 @@
 //! ...                          (M `row` lines)
 //! ```
 //!
-//! # v2 — update-service snapshot
+//! # v3 — update-service snapshot
 //!
 //! Written by [`write_service`], read by [`read_service`]: a whole
 //! fleet ([`ServiceSnapshot`]) in one file, so a gateway can checkpoint
 //! after every cycle and resume after a restart. Unlike v1, RSS values
 //! (and all other floats) are written with full round-trip precision —
 //! a restored fleet must continue **bit-identically** to an
-//! uninterrupted one, and the update engine is rebuilt from the
-//! serialised prior. The grammar (one deployment record per fleet
-//! member, in registration order):
+//! uninterrupted one. v3 additionally records each engine's
+//! *warm-start basis* (the correlation matrix `Z` alongside the
+//! reference locations), so restore rebuilds engines directly from the
+//! file instead of re-running MIC extraction and LRR learning — see
+//! [`crate::Updater::from_basis`]. The grammar (one deployment record
+//! per fleet member, in registration order):
 //!
 //! ```text
-//! iupdater-service v2
+//! iupdater-service v3
 //! deployments <K>
 //! deployment <k>                      (0-based, in order: 0..K)
 //! name <name>                         (rest of line; single line, non-empty)
@@ -44,6 +47,9 @@
 //!        use_constraint1=<bool> use_constraint2=<bool> seed=<n>
 //!        rank_tol=<v>                 (single line, keys in this order)
 //! refs <r> <j_1> ... <j_r>            (the engine's reference locations)
+//! seed <s> <j_1> ... <j_s>            (pre-truncation MIC set; refs is its prefix)
+//! basis <r> <N>                       (warm-start correlation Z, or `basis none`)
+//! zrow <...>                          (r rows of N full-precision values)
 //! prior                               (database the engine was built from)
 //! links <M>
 //! per_link <N/M>
@@ -54,12 +60,18 @@
 //! row ...
 //! ```
 //!
-//! Both readers reject trailing non-blank content after the final row
-//! and non-finite RSS values; both writers refuse to serialise
-//! non-finite values in the first place (a `NaN` database must never
-//! round-trip into a "valid" file that poisons downstream solves).
-//! I/O failures are reported as [`CoreError::Io`], preserving the
-//! underlying `std::io::Error` kind and message.
+//! The legacy v2 format (identical except for the header and the
+//! absent `seed` / `basis` sections) stays readable; such snapshots
+//! restore through the slow path (engine re-derivation from `prior`,
+//! with the recorded reference set as an integrity check), and their
+//! seed set defaults to the reference locations.
+//!
+//! All readers reject trailing non-blank content after the final row
+//! and non-finite values; all writers refuse to serialise non-finite
+//! values in the first place (a `NaN` database must never round-trip
+//! into a "valid" file that poisons downstream solves). I/O failures
+//! are reported as [`CoreError::Io`], preserving the underlying
+//! `std::io::Error` kind and message.
 
 use std::io::{BufRead, Write};
 
@@ -74,8 +86,13 @@ use crate::{CoreError, Result};
 /// v1 format magic / version header (single fingerprint database).
 const HEADER: &str = "iupdater-fingerprint v1";
 
-/// v2 format magic / version header (update-service snapshot).
-const SERVICE_HEADER: &str = "iupdater-service v2";
+/// Legacy v2 service-snapshot header (no warm-start basis); still
+/// accepted by [`read_service`].
+const SERVICE_HEADER_V2: &str = "iupdater-service v2";
+
+/// v3 format magic / version header (update-service snapshot with the
+/// warm-start basis).
+const SERVICE_HEADER: &str = "iupdater-service v3";
 
 fn write_err(e: std::io::Error) -> CoreError {
     CoreError::from_io("write", &e)
@@ -250,6 +267,24 @@ pub fn write_service<W: Write>(snapshot: &ServiceSnapshot, mut w: W) -> Result<(
         }
         check_finite(d.prior.matrix())?;
         check_finite(d.current.matrix())?;
+        if let Some(z) = &d.correlation {
+            check_finite(z)?;
+            if z.rows() != d.reference_locations.len() {
+                return Err(bad("warm-start basis rows must match the reference count"));
+            }
+            // Mirror the reader's width check so a checkpoint this
+            // writer accepts is always restorable.
+            if z.cols() != d.prior.num_locations() {
+                return Err(bad("warm-start basis width must match the prior database"));
+            }
+        }
+        if d.seed_locations.len() < d.reference_locations.len()
+            || d.seed_locations[..d.reference_locations.len()] != d.reference_locations[..]
+        {
+            return Err(bad(
+                "reference locations must be a prefix of the seed locations",
+            ));
+        }
         writeln!(w, "deployment {k}").map_err(write_err)?;
         writeln!(w, "name {}", d.name).map_err(write_err)?;
         writeln!(w, "env {} {}", d.env.kind, d.seed).map_err(write_err)?;
@@ -261,6 +296,24 @@ pub fn write_service<W: Write>(snapshot: &ServiceSnapshot, mut w: W) -> Result<(
             write!(w, " {j}").map_err(write_err)?;
         }
         writeln!(w).map_err(write_err)?;
+        write!(w, "seed {}", d.seed_locations.len()).map_err(write_err)?;
+        for &j in &d.seed_locations {
+            write!(w, " {j}").map_err(write_err)?;
+        }
+        writeln!(w).map_err(write_err)?;
+        match &d.correlation {
+            Some(z) => {
+                writeln!(w, "basis {} {}", z.rows(), z.cols()).map_err(write_err)?;
+                for i in 0..z.rows() {
+                    write!(w, "zrow").map_err(write_err)?;
+                    for j in 0..z.cols() {
+                        write!(w, " {}", z[(i, j)]).map_err(write_err)?;
+                    }
+                    writeln!(w).map_err(write_err)?;
+                }
+            }
+            None => writeln!(w, "basis none").map_err(write_err)?,
+        }
         writeln!(w, "prior").map_err(write_err)?;
         write_block(&d.prior, &mut w, true)?;
         writeln!(w, "current").map_err(write_err)?;
@@ -328,9 +381,11 @@ pub fn read_service<R: BufRead>(r: R) -> Result<ServiceSnapshot> {
     let bad = |msg: &'static str| CoreError::InvalidArgument(msg);
     let mut lines = r.lines();
     let header = next_line(&mut lines, "empty input")?;
-    if header.trim() != SERVICE_HEADER {
-        return Err(bad("unrecognised header"));
-    }
+    let has_basis = match header.trim() {
+        SERVICE_HEADER => true,
+        SERVICE_HEADER_V2 => false,
+        _ => return Err(bad("unrecognised header")),
+    };
     let count = parse_field(&mut lines, "deployments")?;
     // `count` is file-supplied: cap the pre-allocation so a corrupt
     // header cannot panic with a capacity overflow (parsing still
@@ -372,11 +427,33 @@ pub fn read_service<R: BufRead>(r: R) -> Result<ServiceSnapshot> {
         let config_line = next_line(&mut lines, "missing config line")?;
         let config = parse_config(&config_line)?;
         let refs_line = next_line(&mut lines, "missing refs line")?;
-        let reference_locations = parse_refs(&refs_line)?;
+        let reference_locations = parse_location_list(&refs_line, "refs")?;
+        let (seed_locations, correlation) = if has_basis {
+            let seed_line = next_line(&mut lines, "missing seed line")?;
+            let seed_locations = parse_location_list(&seed_line, "seed")?;
+            if seed_locations.len() < reference_locations.len()
+                || seed_locations[..reference_locations.len()] != reference_locations[..]
+            {
+                return Err(bad("refs must be a prefix of the seed locations"));
+            }
+            let correlation = parse_basis(&mut lines, reference_locations.len())?;
+            (seed_locations, correlation)
+        } else {
+            // Legacy v2: no recorded seed; the reference set doubles as
+            // the warm-start seed (restore re-derives the engine anyway).
+            (reference_locations.clone(), None)
+        };
         expect_tag(&mut lines, "prior")?;
         let prior = read_block(&mut lines)?;
         expect_tag(&mut lines, "current")?;
         let current = read_block(&mut lines)?;
+        if let Some(z) = &correlation {
+            if z.cols() != prior.num_locations() {
+                return Err(bad(
+                    "warm-start basis width does not match the prior database",
+                ));
+            }
+        }
         deployments.push(DeploymentSnapshot {
             name,
             env,
@@ -385,12 +462,68 @@ pub fn read_service<R: BufRead>(r: R) -> Result<ServiceSnapshot> {
             cycles_run,
             last_update_day,
             reference_locations,
+            correlation,
+            seed_locations,
             prior,
             current,
         });
     }
     expect_eof(&mut lines)?;
     Ok(ServiceSnapshot { deployments })
+}
+
+/// Parses the v3 `basis` section: `basis none`, or `basis <r> <n>`
+/// followed by `r` full-precision `zrow` lines.
+fn parse_basis(
+    lines: &mut std::io::Lines<impl BufRead>,
+    ref_count: usize,
+) -> Result<Option<Matrix>> {
+    let bad = |msg: &'static str| CoreError::InvalidArgument(msg);
+    let line = next_line(lines, "missing basis line")?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("basis") {
+        return Err(bad("expected a `basis` line"));
+    }
+    let first = parts.next().ok_or(bad("missing basis shape"))?;
+    if first == "none" {
+        if parts.next().is_some() {
+            return Err(bad("unexpected content after `basis none`"));
+        }
+        return Ok(None);
+    }
+    let rows = first
+        .parse::<usize>()
+        .map_err(|_| bad("non-integer basis row count"))?;
+    let cols = parts
+        .next()
+        .ok_or(bad("missing basis column count"))?
+        .parse::<usize>()
+        .map_err(|_| bad("non-integer basis column count"))?;
+    if rows != ref_count {
+        return Err(bad("basis row count does not match the reference count"));
+    }
+    if rows == 0 || cols == 0 {
+        return Err(bad("basis shape must be positive"));
+    }
+    let total = rows.checked_mul(cols).ok_or(bad("basis shape overflows"))?;
+    let mut data = Vec::with_capacity(total.min(1 << 20));
+    for _ in 0..rows {
+        let line = next_line(lines, "missing zrow line")?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("zrow") {
+            return Err(bad("expected a `zrow` line"));
+        }
+        let values: std::result::Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
+        let values = values.map_err(|_| bad("non-numeric basis value"))?;
+        if values.len() != cols {
+            return Err(bad("zrow length does not match the basis shape"));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(bad("non-finite basis value"));
+        }
+        data.extend(values);
+    }
+    Ok(Some(Matrix::from_vec(rows, cols, data)?))
 }
 
 fn preset_for_kind(kind: EnvironmentKind) -> Option<Environment> {
@@ -428,21 +561,23 @@ fn parse_f64_field(lines: &mut std::io::Lines<impl BufRead>, name: &'static str)
     Ok(v)
 }
 
-fn parse_refs(line: &str) -> Result<Vec<usize>> {
+/// Parses a `<tag> <count> <j_1> ... <j_count>` location-list line
+/// (the `refs` and `seed` lines share this shape).
+fn parse_location_list(line: &str, tag: &'static str) -> Result<Vec<usize>> {
     let bad = |msg: &'static str| CoreError::InvalidArgument(msg);
     let mut parts = line.split_whitespace();
-    if parts.next() != Some("refs") {
-        return Err(bad("expected a `refs` line"));
+    if parts.next() != Some(tag) {
+        return Err(bad("unexpected location-list tag"));
     }
     let count = parts
         .next()
-        .ok_or(bad("missing reference count"))?
+        .ok_or(bad("missing location count"))?
         .parse::<usize>()
-        .map_err(|_| bad("non-integer reference count"))?;
+        .map_err(|_| bad("non-integer location count"))?;
     let refs: std::result::Result<Vec<usize>, _> = parts.map(str::parse::<usize>).collect();
-    let refs = refs.map_err(|_| bad("non-integer reference location"))?;
+    let refs = refs.map_err(|_| bad("non-integer location index"))?;
     if refs.len() != count {
-        return Err(bad("reference count does not match the listed locations"));
+        return Err(bad("location count does not match the listed locations"));
     }
     Ok(refs)
 }
@@ -769,12 +904,126 @@ mod tests {
         let mut buf = Vec::new();
         write_service(&snap, &mut buf).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();
-        assert!(text.starts_with("iupdater-service v2\n"));
+        assert!(text.starts_with("iupdater-service v3\n"));
         assert!(text.contains("deployments 2"));
         assert!(text.contains("name library b"));
+        // The warm-start basis is recorded for every deployment.
+        assert_eq!(text.matches("\nbasis ").count(), 2);
+        assert!(!text.contains("basis none"));
         // Full precision: the parsed snapshot is *equal*, not just close.
         let back = read_service(buf.as_slice()).unwrap();
         assert_eq!(back, snap);
+        assert!(back.deployments[0].correlation.is_some());
+    }
+
+    #[test]
+    fn v2_snapshots_remain_readable_without_basis() {
+        // Render a v2 file from a live fleet by downgrading the header
+        // and dropping the basis sections — byte-wise what the PR-2
+        // writer produced.
+        let s = small_fleet();
+        let snap = s.snapshot();
+        let mut buf = Vec::new();
+        write_service(&snap, &mut buf).unwrap();
+        let v3 = String::from_utf8(buf).unwrap();
+        let v2: String = v3
+            .replace("iupdater-service v3", "iupdater-service v2")
+            .lines()
+            .filter(|l| {
+                !(l.starts_with("basis ") || l.starts_with("zrow ") || l.starts_with("seed "))
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let back = read_service(v2.as_bytes()).unwrap();
+        assert_eq!(back.deployments.len(), snap.deployments.len());
+        for (b, s) in back.deployments.iter().zip(&snap.deployments) {
+            assert!(b.correlation.is_none(), "v2 carries no basis");
+            assert_eq!(b.reference_locations, s.reference_locations);
+            assert_eq!(b.prior, s.prior);
+            assert_eq!(b.current, s.current);
+        }
+        // A v2 snapshot still restores (slow path: engine re-derivation).
+        let restored = crate::service::UpdateService::restore(&back).unwrap();
+        assert_eq!(restored.len(), snap.deployments.len());
+        // And re-snapshotting it upgrades to v3 with the basis filled in.
+        let upgraded = restored.snapshot();
+        assert!(upgraded.deployments[0].correlation.is_some());
+    }
+
+    #[test]
+    fn basis_section_is_validated() {
+        let mut s = small_fleet();
+        s.run_cycle(5.0, 1).unwrap();
+        let mut buf = Vec::new();
+        write_service(&s.snapshot(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        // Row count disagreeing with the refs line.
+        let first_basis = text
+            .lines()
+            .find(|l| l.starts_with("basis "))
+            .unwrap()
+            .to_string();
+        let mut parts = first_basis.split_whitespace();
+        parts.next();
+        let rows: usize = parts.next().unwrap().parse().unwrap();
+        let cols: usize = parts.next().unwrap().parse().unwrap();
+        let tampered = text.replacen(&first_basis, &format!("basis {} {cols}", rows + 1), 1);
+        assert!(read_service(tampered.as_bytes()).is_err());
+
+        // Non-finite basis value.
+        let zrow = text.lines().find(|l| l.starts_with("zrow ")).unwrap();
+        let mut fields: Vec<&str> = zrow.split(' ').collect();
+        fields[1] = "NaN";
+        let tampered = text.replacen(zrow, &fields.join(" "), 1);
+        assert!(read_service(tampered.as_bytes()).is_err());
+
+        // Basis width disagreeing with the prior database: the writer
+        // must refuse (mirroring the reader's width check) so that no
+        // unrestorable checkpoint can ever be produced.
+        let mut snap = s.snapshot();
+        snap.deployments[0].correlation = Some(Matrix::zeros(rows, cols - 1));
+        assert!(write_service(&snap, Vec::new()).is_err());
+        // The equivalent hand-edited file is rejected on read too.
+        let narrow = text
+            .replacen(&first_basis, &format!("basis {rows} {}", cols - 1), 1)
+            .lines()
+            .map(|l| {
+                if l.starts_with("zrow ") {
+                    l.rsplit_once(' ')
+                        .map(|(head, _)| head.to_string())
+                        .unwrap()
+                } else {
+                    l.to_string()
+                }
+            })
+            .map(|l| format!("{l}\n"))
+            .collect::<String>();
+        assert!(read_service(narrow.as_bytes()).is_err());
+
+        // A seed line that refs is not a prefix of must be rejected by
+        // both writer and reader.
+        let mut snap = s.snapshot();
+        snap.deployments[0].seed_locations = vec![0];
+        assert!(write_service(&snap, Vec::new()).is_err());
+        let first_seed = text
+            .lines()
+            .find(|l| l.starts_with("seed "))
+            .unwrap()
+            .to_string();
+        let tampered = text.replacen(&first_seed, "seed 1 0", 1);
+        assert!(read_service(tampered.as_bytes()).is_err());
+
+        // Writer refuses a basis whose shape disagrees with the refs.
+        let mut snap = s.snapshot();
+        snap.deployments[0].correlation = Some(Matrix::zeros(1, cols));
+        assert!(write_service(&snap, Vec::new()).is_err());
+        // …and a non-finite basis.
+        let mut snap = s.snapshot();
+        if let Some(z) = &mut snap.deployments[0].correlation {
+            z[(0, 0)] = f64::INFINITY;
+        }
+        assert!(write_service(&snap, Vec::new()).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::classify::CellClassification;
 use crate::config::UpdaterConfig;
 use crate::correlation::{correlation_matrix, predict, CorrelationMethod};
 use crate::fingerprint::FingerprintMatrix;
-use crate::mic::{extract_mic, MicMethod, MicSelection};
+use crate::mic::{extract_mic, update_selection, MicMethod, MicSelection};
 use crate::self_augmented::{SolveReport, Solver, SolverInputs};
 use crate::{CoreError, Result};
 
@@ -26,6 +26,11 @@ pub struct Updater {
     config: UpdaterConfig,
     mic: MicSelection,
     z: Matrix,
+    mic_method: MicMethod,
+    corr_method: CorrelationMethod,
+    /// The full (pre-`config.rank`-truncation) MIC locations, kept as
+    /// the seed for [`Updater::warm_start`] re-pivoting.
+    seed_locations: Vec<usize>,
 }
 
 impl Updater {
@@ -58,21 +63,189 @@ impl Updater {
     ) -> Result<Self> {
         config.validate().map_err(CoreError::InvalidArgument)?;
         let x = prior.matrix();
-        let mut mic = extract_mic(x, mic_method, config.rank_tol)?;
+        let mic = extract_mic(x, mic_method, config.rank_tol)?;
+        Self::assemble(prior, config, mic, mic_method, corr_method)
+    }
+
+    /// The shared tail of every constructor that has a fresh MIC
+    /// selection in hand: applies the configured rank override, learns
+    /// `Z`, and assembles the updater. Both the cold and the
+    /// warm-start paths funnel through here, which is what makes them
+    /// numerically identical.
+    fn assemble(
+        prior: FingerprintMatrix,
+        config: UpdaterConfig,
+        mut mic: MicSelection,
+        mic_method: MicMethod,
+        corr_method: CorrelationMethod,
+    ) -> Result<Self> {
+        let seed_locations = mic.locations.clone();
         // If a rank override is configured, honour it (take the leading
         // MIC columns or extend greedily via a looser tolerance).
         if let Some(r) = config.rank {
             if r < mic.rank() {
                 mic.locations.truncate(r);
-                mic.vectors = x.select_cols(&mic.locations);
+                mic.vectors = prior.matrix().select_cols(&mic.locations);
             }
         }
-        let z = correlation_matrix(&mic.vectors, x, corr_method)?;
+        let z = correlation_matrix(&mic.vectors, prior.matrix(), corr_method)?;
         Ok(Updater {
             prior,
             config,
             mic,
             z,
+            mic_method,
+            corr_method,
+            seed_locations,
+        })
+    }
+
+    /// Builds an updater for `new_prior` by warm-starting from `prev`:
+    /// instead of the full greedy MIC sweep, the previous pivot set is
+    /// re-certified against the new matrix
+    /// ([`MicSelection::update`]'s fast path), falling back to a full
+    /// extraction when the selection genuinely changed or a pivot
+    /// decision is within the drift margin. The correlation matrix is
+    /// then learned from `new_prior` exactly as [`Updater::new`] would
+    /// — so the result is always *identical* to a from-scratch
+    /// construction on `new_prior`; the warm start only changes cost.
+    /// When `new_prior` equals `prev`'s prior bit-for-bit, everything
+    /// (including `Z`) is reused outright.
+    ///
+    /// This is what [`crate::service::UpdateService::rebase`] runs.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionMismatch`] when `new_prior`'s geometry
+    /// differs from `prev`'s; otherwise the same errors as
+    /// [`Updater::new`].
+    pub fn warm_start(prev: &Updater, new_prior: FingerprintMatrix) -> Result<Self> {
+        if new_prior.num_links() != prev.prior.num_links()
+            || new_prior.num_locations() != prev.prior.num_locations()
+            || new_prior.locations_per_link() != prev.prior.locations_per_link()
+        {
+            return Err(CoreError::DimensionMismatch {
+                context: "Updater::warm_start",
+                expected: format!("{}x{}", prev.prior.num_links(), prev.prior.num_locations()),
+                got: format!("{}x{}", new_prior.num_links(), new_prior.num_locations()),
+            });
+        }
+        if new_prior == prev.prior {
+            return Ok(prev.clone());
+        }
+        let upd = update_selection(
+            &prev.seed_locations,
+            new_prior.matrix(),
+            prev.mic_method,
+            prev.config.rank_tol,
+        )?;
+        Self::assemble(
+            new_prior,
+            prev.config.clone(),
+            upd.selection,
+            prev.mic_method,
+            prev.corr_method,
+        )
+    }
+
+    /// Rebuilds an updater from a *recorded* warm-start basis — the
+    /// reference locations, correlation matrix and (pre-truncation)
+    /// warm-start seed a service snapshot carries — without re-running
+    /// MIC extraction or correlation learning. Because the basis is
+    /// stored at full precision, the rebuilt engine reconstructs
+    /// bit-identically to the engine that was snapshotted; this is
+    /// restore's fast path.
+    ///
+    /// `seed_locations` is the full MIC set before any `config.rank`
+    /// truncation — the seed future [`Updater::warm_start`] calls
+    /// re-certify against. It equals `locations` unless a rank
+    /// override truncated the reference set, and `locations` must be
+    /// its prefix (truncation keeps the leading sorted locations).
+    ///
+    /// Trust model: the basis is validated structurally (sorted unique
+    /// in-range locations consistent with `config.rank` and the seed,
+    /// a `Z` of matching shape with finite entries that roughly spans
+    /// the prior) but is otherwise trusted — the point is to *skip*
+    /// the expensive re-derivation. Snapshots without a recorded basis
+    /// take the slow path through [`Updater::new`] instead. Assumes
+    /// the default MIC and correlation methods, like every
+    /// snapshot-built engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for a structurally inconsistent
+    /// basis; propagates config validation errors.
+    pub fn from_basis(
+        prior: FingerprintMatrix,
+        config: UpdaterConfig,
+        locations: Vec<usize>,
+        z: Matrix,
+        seed_locations: Vec<usize>,
+    ) -> Result<Self> {
+        config.validate().map_err(CoreError::InvalidArgument)?;
+        let x = prior.matrix();
+        let (m, n) = x.shape();
+        for locs in [&locations, &seed_locations] {
+            if locs.is_empty()
+                || locs.len() > m.min(n)
+                || locs.windows(2).any(|w| w[0] >= w[1])
+                || *locs.last().expect("non-empty") >= n
+            {
+                return Err(CoreError::InvalidArgument(
+                    "warm-start basis locations must be sorted, unique and in range",
+                ));
+            }
+        }
+        if locations.len() > seed_locations.len()
+            || locations[..] != seed_locations[..locations.len()]
+        {
+            return Err(CoreError::InvalidArgument(
+                "warm-start basis locations must be a prefix of the recorded seed",
+            ));
+        }
+        if let Some(r) = config.rank {
+            if locations.len() > r {
+                return Err(CoreError::InvalidArgument(
+                    "warm-start basis exceeds the configured rank",
+                ));
+            }
+        }
+        if z.shape() != (locations.len(), n) {
+            return Err(CoreError::InvalidArgument(
+                "warm-start basis correlation shape does not match its locations",
+            ));
+        }
+        if z.iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::InvalidArgument(
+                "warm-start basis correlation must be finite",
+            ));
+        }
+        let vectors = x.select_cols(&locations);
+        // Loose span sanity check: the recorded correlation must
+        // broadly reproduce the prior it claims to describe (LRR fits
+        // are approximate, so this is an integrity check, not a parity
+        // check). A rank-truncated basis is exempt — with fewer
+        // columns than the prior's rank, a large residual is the
+        // *expected* shape of a legitimate fit, so the bound would
+        // reject valid checkpoints.
+        if locations.len() == seed_locations.len() {
+            let recon = vectors.matmul(&z)?;
+            let denom = x.frobenius_norm().max(f64::MIN_POSITIVE);
+            let rel = (&recon - x).frobenius_norm() / denom;
+            if rel.is_nan() || rel > 0.75 {
+                return Err(CoreError::InvalidArgument(
+                    "warm-start basis correlation does not describe the prior",
+                ));
+            }
+        }
+        Ok(Updater {
+            prior,
+            config,
+            mic: MicSelection { locations, vectors },
+            z,
+            mic_method: MicMethod::default(),
+            corr_method: CorrelationMethod::default(),
+            seed_locations,
         })
     }
 
@@ -94,6 +267,22 @@ impl Updater {
     /// The configuration.
     pub fn config(&self) -> &UpdaterConfig {
         &self.config
+    }
+
+    /// The full (pre-`config.rank`-truncation) MIC locations — the
+    /// seed [`Updater::warm_start`] re-certifies against, and the part
+    /// of the warm-start basis snapshots record so the fast path
+    /// survives a restore. Equals
+    /// [`Updater::reference_locations`] unless a rank override
+    /// truncated the reference set.
+    pub fn seed_locations(&self) -> &[usize] {
+        &self.seed_locations
+    }
+
+    /// The configured MIC extraction method (for in-crate callers that
+    /// pre-compute a selection the way [`Updater::warm_start`] would).
+    pub(crate) fn mic_method(&self) -> MicMethod {
+        self.mic_method
     }
 
     /// Reconstructs the up-to-date fingerprint matrix from fresh
@@ -293,5 +482,125 @@ mod tests {
         assert_eq!(updater.correlation().cols(), 96);
         assert_eq!(updater.prior().num_links(), 8);
         assert!(updater.config().use_constraint1);
+    }
+
+    /// Warm-start parity at the engine level: whatever path the MIC
+    /// certification takes, the warm-built updater must be numerically
+    /// identical to a from-scratch one on the same new prior.
+    #[test]
+    fn warm_start_equals_from_scratch() {
+        let (t, updater) = setup(28);
+        let current = updater.update_from_testbed(&t, 45.0, 5).unwrap();
+        let warm = Updater::warm_start(&updater, current.clone()).unwrap();
+        let cold = Updater::new(current.clone(), updater.config().clone()).unwrap();
+        assert_eq!(warm.reference_locations(), cold.reference_locations());
+        assert!(warm.correlation().approx_eq(cold.correlation(), 0.0));
+        // And the engines reconstruct identically.
+        let w = warm.update_from_testbed(&t, 90.0, 5).unwrap();
+        let c = cold.update_from_testbed(&t, 90.0, 5).unwrap();
+        assert!(w.matrix().approx_eq(c.matrix(), 0.0));
+    }
+
+    #[test]
+    fn warm_start_on_identical_prior_reuses_everything() {
+        let (_, updater) = setup(29);
+        let warm = Updater::warm_start(&updater, updater.prior().clone()).unwrap();
+        assert_eq!(warm.reference_locations(), updater.reference_locations());
+        assert!(warm.correlation().approx_eq(updater.correlation(), 0.0));
+    }
+
+    #[test]
+    fn warm_start_rejects_geometry_changes() {
+        let (_, updater) = setup(30);
+        let other = Testbed::new(Environment::library(), 1);
+        let foreign = FingerprintMatrix::survey(&other, 0.0, 2);
+        assert!(Updater::warm_start(&updater, foreign).is_err());
+    }
+
+    #[test]
+    fn from_basis_reproduces_the_recorded_engine() {
+        let (t, updater) = setup(31);
+        let rebuilt = Updater::from_basis(
+            updater.prior().clone(),
+            updater.config().clone(),
+            updater.reference_locations().to_vec(),
+            updater.correlation().clone(),
+            updater.seed_locations().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.reference_locations(), updater.reference_locations());
+        let a = rebuilt.update_from_testbed(&t, 45.0, 5).unwrap();
+        let b = updater.update_from_testbed(&t, 45.0, 5).unwrap();
+        assert!(a.matrix().approx_eq(b.matrix(), 0.0));
+    }
+
+    #[test]
+    fn from_basis_rejects_inconsistent_bases() {
+        let (_, updater) = setup(32);
+        let prior = updater.prior().clone();
+        let cfg = updater.config().clone();
+        let locs = updater.reference_locations().to_vec();
+        let z = updater.correlation().clone();
+
+        // Locations / correlation shape mismatch.
+        assert!(Updater::from_basis(
+            prior.clone(),
+            cfg.clone(),
+            vec![0, 1],
+            z.clone(),
+            vec![0, 1]
+        )
+        .is_err());
+        // Unsorted locations.
+        let mut reversed = locs.clone();
+        reversed.reverse();
+        assert!(Updater::from_basis(
+            prior.clone(),
+            cfg.clone(),
+            reversed.clone(),
+            z.clone(),
+            reversed
+        )
+        .is_err());
+        // Out-of-range location.
+        let mut oob = locs.clone();
+        *oob.last_mut().unwrap() = 9_999;
+        assert!(
+            Updater::from_basis(prior.clone(), cfg.clone(), oob.clone(), z.clone(), oob).is_err()
+        );
+        // Non-finite correlation.
+        let mut bad_z = z.clone();
+        bad_z[(0, 0)] = f64::NAN;
+        assert!(Updater::from_basis(
+            prior.clone(),
+            cfg.clone(),
+            locs.clone(),
+            bad_z,
+            locs.clone()
+        )
+        .is_err());
+        // A correlation that does not describe the prior at all.
+        let junk = iupdater_linalg::Matrix::zeros(locs.len(), prior.num_locations());
+        assert!(
+            Updater::from_basis(prior.clone(), cfg.clone(), locs.clone(), junk, locs.clone())
+                .is_err()
+        );
+        // More locations than the configured rank.
+        let tight = UpdaterConfig {
+            rank: Some(2),
+            ..cfg
+        };
+        assert!(
+            Updater::from_basis(prior.clone(), tight, locs.clone(), z.clone(), locs.clone())
+                .is_err()
+        );
+        // Locations not a prefix of the recorded seed.
+        let mut alien_seed = locs.clone();
+        alien_seed[0] = alien_seed[0].wrapping_add(1).min(prior.num_locations() - 1);
+        alien_seed.sort_unstable();
+        alien_seed.dedup();
+        if alien_seed != locs {
+            assert!(Updater::from_basis(prior, cfg, locs, z, alien_seed).is_err());
+        }
     }
 }

@@ -2,5 +2,11 @@
 //! lives in the layered [`crate::solver`] module tree ([`crate::solver::terms`]
 //! for the penalty terms, `solver::engine` for the parallel ALS
 //! engine). This alias keeps historical import paths working.
+//!
+//! The *construction* side of the pipeline (MIC + correlation
+//! learning) lives in [`crate::reconstruct`]; since the incremental
+//! updater work it offers warm-start constructors
+//! ([`crate::Updater::warm_start`], [`crate::Updater::from_basis`])
+//! alongside the from-scratch [`crate::Updater::new`].
 
 pub use crate::solver::{SolveReport, Solver, SolverInputs, TermWeights};

@@ -32,10 +32,12 @@
 //! counters, reference set, the engine's prior and the live database)
 //! as a [`ServiceSnapshot`], and [`UpdateService::restore`] rebuilds a
 //! service from one — reconstructing each update engine from its
-//! snapshotted prior so post-restore cycles are bit-identical to an
-//! uninterrupted run. [`crate::persist::write_service`] /
+//! snapshotted prior — or, faster, from the recorded *warm-start
+//! basis* (reference locations, pre-truncation seed and full-precision
+//! correlation matrix) — so post-restore cycles are bit-identical to
+//! an uninterrupted run. [`crate::persist::write_service`] /
 //! [`crate::persist::read_service`] serialise snapshots to the
-//! versioned v2 text format. [`UpdateService::drive_schedule`] runs a
+//! versioned v3 text format (legacy v2 files stay readable). [`UpdateService::drive_schedule`] runs a
 //! day-stepped campaign with a snapshot handed to a callback after
 //! every committed cycle (checkpoint-on-commit). Pending ingest queues
 //! are deliberately *not* part of a snapshot: batches are transient
@@ -272,10 +274,25 @@ pub struct DeploymentSnapshot {
     pub cycles_run: usize,
     /// Day offset of the last committed cycle (0 if none).
     pub last_update_day: f64,
-    /// The engine's MIC reference locations — stored redundantly as an
-    /// integrity check: restore re-derives them from `prior` and
-    /// rejects a snapshot whose recorded set disagrees.
+    /// The engine's MIC reference locations. With a recorded
+    /// [`DeploymentSnapshot::correlation`] they form the warm-start
+    /// basis restore rebuilds the engine from directly; without one
+    /// they are an integrity check — restore re-derives them from
+    /// `prior` and rejects a snapshot whose recorded set disagrees.
     pub reference_locations: Vec<usize>,
+    /// The engine's correlation matrix `Z` (the expensive-to-relearn
+    /// half of the warm-start basis), recorded at full precision so
+    /// [`UpdateService::restore`] can rebuild the engine via
+    /// [`Updater::from_basis`] without re-running MIC extraction or
+    /// LRR. `None` for snapshots read from the legacy v2 format, which
+    /// take the slow re-derivation path.
+    pub correlation: Option<Matrix>,
+    /// The engine's full pre-`config.rank`-truncation MIC set
+    /// ([`Updater::seed_locations`]) — recorded so a restored engine's
+    /// future warm-start rebases re-certify against the same seed as
+    /// the original (equals `reference_locations` unless a rank
+    /// override truncated the reference set).
+    pub seed_locations: Vec<usize>,
     /// The database the update engine was built from (needed to rebuild
     /// the engine — MIC + correlation learning — bit-identically).
     pub prior: FingerprintMatrix,
@@ -694,6 +711,8 @@ impl UpdateService {
                     cycles_run: dep.cycles_run,
                     last_update_day: dep.last_update_day,
                     reference_locations: dep.updater.reference_locations().to_vec(),
+                    correlation: Some(dep.updater.correlation().clone()),
+                    seed_locations: dep.updater.seed_locations().to_vec(),
                     prior: dep.updater.prior().clone(),
                     current: dep.current.clone(),
                 })
@@ -742,13 +761,43 @@ impl UpdateService {
                     "snapshot current database does not match the prior's geometry",
                 )));
             }
-            let updater = Updater::new(s.prior.clone(), s.config.clone()).map_err(&wrap);
-            let updater = updater?;
-            if updater.reference_locations() != &s.reference_locations[..] {
-                return Err(wrap(CoreError::InvalidArgument(
-                    "snapshot reference set does not match the rebuilt engine",
-                )));
-            }
+            // Slow path: re-derive the engine from the prior and check
+            // the recorded reference set against it — used for legacy
+            // v2 snapshots (no recorded basis) and as the fallback when
+            // a recorded basis fails its structural checks, so any
+            // checkpoint the writer accepted is always restorable.
+            let rederive = || -> Result<Updater> {
+                let updater = Updater::new(s.prior.clone(), s.config.clone()).map_err(&wrap)?;
+                if updater.reference_locations() != &s.reference_locations[..] {
+                    return Err(wrap(CoreError::InvalidArgument(
+                        "snapshot reference set does not match the rebuilt engine",
+                    )));
+                }
+                Ok(updater)
+            };
+            let updater = match &s.correlation {
+                // Fast path: the snapshot carries the warm-start basis,
+                // so the engine is rebuilt directly from it — no MIC
+                // extraction, no correlation learning. The basis was
+                // recorded at full precision, so the rebuilt engine is
+                // bit-identical to the snapshotted one.
+                Some(z) => match Updater::from_basis(
+                    s.prior.clone(),
+                    s.config.clone(),
+                    s.reference_locations.clone(),
+                    z.clone(),
+                    s.seed_locations.clone(),
+                ) {
+                    Ok(updater) => updater,
+                    // An inconsistent basis (e.g. bit rot in the file)
+                    // falls back to re-derivation: the engine is then
+                    // the legitimate one for the recorded prior, and
+                    // the reference-set check still rejects tampering.
+                    Err(CoreError::InvalidArgument(_)) => rederive()?,
+                    Err(e) => return Err(wrap(e)),
+                },
+                None => rederive()?,
+            };
             deployments.push(ManagedDeployment {
                 name: s.name.clone(),
                 testbed,
@@ -797,19 +846,68 @@ impl UpdateService {
     }
 
     /// Re-learns the deployment's correlation engine from its *current*
-    /// database (periodic re-anchoring after many update cycles).
+    /// database (periodic re-anchoring after many update cycles),
+    /// warm-starting from the existing engine
+    /// ([`Updater::warm_start`]): the previous MIC pivot set is
+    /// re-certified against the new prior instead of re-running the
+    /// full greedy sweep, with an automatic fallback when the selection
+    /// genuinely changed — the result is always identical to a
+    /// from-scratch `Updater::new` on the current database.
+    ///
+    /// Queued measurement batches survive a rebase untouched: their
+    /// reference columns are ordered by the engine's reference set, so
+    /// a rebase that would *change* that set while batches are pending
+    /// is rejected (it would silently misinterpret every queued `X_R`).
+    /// Drain the queue with a cycle — or discard it with
+    /// [`UpdateService::clear_ingest_queue`] — and rebase again.
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidArgument`] for an unknown id; otherwise
-    /// propagates engine construction errors.
+    /// [`CoreError::InvalidArgument`] for an unknown id or for a
+    /// reference-set-changing rebase with a non-empty ingest queue;
+    /// otherwise propagates engine construction errors.
     pub fn rebase(&mut self, id: DeploymentId) -> Result<()> {
         let dep = self
             .deployments
             .get(id.0)
             .ok_or(CoreError::InvalidArgument("unknown deployment id"))?;
-        let updater = Updater::new(dep.current.clone(), dep.updater.config().clone())
+        let refuse = || {
+            CoreError::InvalidArgument(
+                "rebase would change the reference set while measurement batches are \
+                 queued; run a cycle to drain them (or clear the queue) first",
+            )
+        };
+        if !dep.queue.is_empty() && dep.current != *dep.updater.prior() {
+            // Pre-check the refusal condition on the *selection* alone
+            // before paying full engine construction (correlation
+            // learning dominates a rebase): compute what the warm
+            // start would select and bail out early on a change. The
+            // post-construction check below stays authoritative.
+            let cfg = dep.updater.config();
+            let upd = crate::mic::update_selection(
+                dep.updater.seed_locations(),
+                dep.current.matrix(),
+                dep.updater.mic_method(),
+                cfg.rank_tol,
+            )
             .map_err(|e| self.dep_err(id.0, e))?;
+            let mut locations = upd.selection.locations;
+            if let Some(r) = cfg.rank {
+                if r < locations.len() {
+                    locations.truncate(r);
+                }
+            }
+            if locations != dep.updater.reference_locations() {
+                return Err(self.dep_err(id.0, refuse()));
+            }
+        }
+        let updater = Updater::warm_start(&dep.updater, dep.current.clone())
+            .map_err(|e| self.dep_err(id.0, e))?;
+        if !dep.queue.is_empty()
+            && updater.reference_locations() != dep.updater.reference_locations()
+        {
+            return Err(self.dep_err(id.0, refuse()));
+        }
         self.deployments[id.0].updater = updater;
         Ok(())
     }
@@ -954,6 +1052,91 @@ mod tests {
         // not the day-0 survey.
         assert_ne!(before_prior, after_prior);
         assert_eq!(after_prior, *s.fingerprint(id).unwrap());
+        // The warm-started engine is identical to a from-scratch one.
+        let cold = Updater::new(
+            s.fingerprint(id).unwrap().clone(),
+            s.updater(id).unwrap().config().clone(),
+        )
+        .unwrap();
+        assert_eq!(
+            s.updater(id).unwrap().reference_locations(),
+            cold.reference_locations()
+        );
+        assert!(s
+            .updater(id)
+            .unwrap()
+            .correlation()
+            .approx_eq(cold.correlation(), 0.0));
+    }
+
+    #[test]
+    fn rebase_preserves_queue_and_counters() {
+        let mut s = fleet();
+        let id = s.ids()[0];
+        s.run_cycle(30.0, 5).unwrap();
+        // First rebase drains nothing and re-anchors the engine; the
+        // second one below exercises the stable-reference-set path with
+        // batches queued.
+        s.rebase(id).unwrap();
+        let refs = s.updater(id).unwrap().reference_locations().to_vec();
+        let batch = MeasurementBatch::collect(s.testbed(id).unwrap(), &refs, 40.0, 3).unwrap();
+        s.ingest(id, batch).unwrap();
+        let day_before = s.last_update_day(id).unwrap();
+        let cycles_before = s.cycles_run(id).unwrap();
+
+        // The prior already equals the current database, so this rebase
+        // cannot change the reference set: the queue must survive.
+        s.rebase(id).unwrap();
+        assert_eq!(s.ingest_queue(id).unwrap().len(), 1);
+        assert_eq!(s.ingest_queue(id).unwrap().last_day(), Some(40.0));
+        assert_eq!(s.last_update_day(id).unwrap(), day_before);
+        assert_eq!(s.cycles_run(id).unwrap(), cycles_before);
+        assert_eq!(s.updater(id).unwrap().reference_locations(), &refs[..]);
+        // …and the queued batch still drains into a committed cycle.
+        let outcomes = s.run_cycle(40.0, 3).unwrap();
+        assert!(outcomes.iter().any(|o| o.id == id && o.day == 40.0));
+        assert!(s.ingest_queue(id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rebase_refuses_to_invalidate_queued_batches() {
+        // Office seed 1: one update cycle is known to shift the MIC
+        // selection of the reconstructed database, so a rebase changes
+        // the reference set (the precondition is asserted below).
+        let mut s = UpdateService::new();
+        let id = s
+            .register(
+                "office-drifty",
+                Testbed::new(Environment::office(), 1),
+                UpdaterConfig::default(),
+                20,
+            )
+            .unwrap();
+        s.run_cycle(45.0, 5).unwrap();
+        let old_refs = s.updater(id).unwrap().reference_locations().to_vec();
+        let cold =
+            Updater::new(s.fingerprint(id).unwrap().clone(), UpdaterConfig::default()).unwrap();
+        assert_ne!(
+            cold.reference_locations(),
+            &old_refs[..],
+            "precondition: this scenario must shift the reference set"
+        );
+
+        // A batch collected for the *old* reference set is queued: the
+        // rebase must refuse rather than silently reinterpret its X_R
+        // columns against the new set.
+        let batch = MeasurementBatch::collect(s.testbed(id).unwrap(), &old_refs, 60.0, 3).unwrap();
+        s.ingest(id, batch).unwrap();
+        let err = s.rebase(id).unwrap_err();
+        assert!(matches!(err, CoreError::Deployment { id: 0, .. }));
+        // Refusal left everything intact: same engine, same queue.
+        assert_eq!(s.updater(id).unwrap().reference_locations(), &old_refs[..]);
+        assert_eq!(s.ingest_queue(id).unwrap().len(), 1);
+
+        // Draining the queue unblocks the rebase.
+        s.run_cycle(60.0, 3).unwrap();
+        s.rebase(id).unwrap();
+        assert_ne!(s.updater(id).unwrap().reference_locations(), &old_refs[..]);
     }
 
     #[test]
@@ -1217,6 +1400,34 @@ mod tests {
         let mut bad_geom = snap.clone();
         bad_geom.deployments[0].prior = bad_geom.deployments[1].prior.clone();
         assert!(UpdateService::restore(&bad_geom).is_err());
+    }
+
+    #[test]
+    fn restore_falls_back_to_rederivation_on_a_corrupted_basis() {
+        // A basis that fails its structural checks (here: a zero Z that
+        // cannot describe the prior) must not make the checkpoint
+        // unrestorable: restore falls back to re-deriving the engine
+        // from the prior, and the untampered reference set still
+        // matches, so the fleet comes back with the legitimate engine.
+        let mut s = fleet();
+        s.run_cycle(5.0, 2).unwrap();
+        let mut snap = s.snapshot();
+        let d0 = &mut snap.deployments[0];
+        let zero_z = Matrix::zeros(d0.reference_locations.len(), d0.prior.num_locations());
+        d0.correlation = Some(zero_z);
+        let restored = UpdateService::restore(&snap).unwrap();
+        let rid = restored.ids()[0];
+        assert_eq!(
+            restored.updater(rid).unwrap().reference_locations(),
+            s.updater(s.ids()[0]).unwrap().reference_locations()
+        );
+        // The re-derived correlation is the legitimate one for the
+        // recorded prior, not the corrupted zeros.
+        assert!(restored
+            .updater(rid)
+            .unwrap()
+            .correlation()
+            .approx_eq(s.updater(s.ids()[0]).unwrap().correlation(), 0.0));
     }
 
     #[test]

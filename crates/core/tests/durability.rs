@@ -1,6 +1,7 @@
-//! Durability integration tests: the v2 service-snapshot format, v1
-//! backward compatibility, and service-level kill/restore parity
-//! through the on-disk representation.
+//! Durability integration tests: the v3 service-snapshot format
+//! (including its recorded warm-start basis), v1/v2 backward
+//! compatibility, and service-level kill/restore parity through the
+//! on-disk representation.
 
 use iupdater_core::persist::{read_fingerprint, read_service, write_fingerprint, write_service};
 use iupdater_core::prelude::*;

@@ -1,0 +1,254 @@
+//! Golden parity tier for the warm-start rebase path.
+//!
+//! [`UpdateService::rebase`] rebuilds a deployment's engine via
+//! [`Updater::warm_start`] — re-certifying the previous MIC pivot set
+//! instead of re-running the full greedy sweep, and skipping LRR
+//! re-learning when the exactness certificate applies. These tests pin
+//! the contract that makes the fast path safe: across fleet
+//! configurations, the warm-started engine and every database it
+//! subsequently commits must stay within `1e-9` of what a from-scratch
+//! `Updater::new` on the same rebased prior produces — including after
+//! a snapshot/restore round trip through the v3 on-disk format (whose
+//! recorded warm-start basis is restore's fast path).
+
+use iupdater_core::persist::{read_service, write_service};
+use iupdater_core::prelude::*;
+use iupdater_core::{CouplingMode, ScalingMode};
+use iupdater_rfsim::{Environment, Testbed};
+
+/// The fleet configurations under test (environment, testbed seed,
+/// updater config) — at least four, spanning rank overrides, the
+/// paper-literal coupling, auto scaling and disabled constraints.
+fn configurations() -> Vec<(&'static str, Environment, u64, UpdaterConfig)> {
+    vec![
+        (
+            "office-default",
+            Environment::office(),
+            1,
+            UpdaterConfig::default(),
+        ),
+        (
+            "library-rank4",
+            Environment::library(),
+            2,
+            UpdaterConfig {
+                rank: Some(4),
+                ..UpdaterConfig::default()
+            },
+        ),
+        (
+            "hall-paper-literal",
+            Environment::hall(),
+            3,
+            UpdaterConfig {
+                coupling: CouplingMode::PaperLiteral,
+                scaling: ScalingMode::Auto,
+                max_iter: 30,
+                ..UpdaterConfig::default()
+            },
+        ),
+        (
+            "office-constraint1-only",
+            Environment::office(),
+            4,
+            UpdaterConfig::with_constraint1_only(),
+        ),
+        (
+            "library-heavy-weights",
+            Environment::library(),
+            5,
+            UpdaterConfig {
+                weight_continuity: 0.4,
+                weight_similarity: 0.2,
+                lambda: 0.01,
+                ..UpdaterConfig::default()
+            },
+        ),
+    ]
+}
+
+const PARITY_TOL: f64 = 1e-9;
+
+#[test]
+fn warm_rebase_matches_from_scratch_across_configurations() {
+    for (name, env, seed, cfg) in configurations() {
+        let mut service = UpdateService::new();
+        let id = service
+            .register(name, Testbed::new(env, seed), cfg.clone(), 10)
+            .unwrap();
+        service.run_cycle(15.0, 5).unwrap();
+        service.run_cycle(45.0, 5).unwrap();
+
+        // From-scratch control on the exact prior the rebase will use.
+        let rebased_prior = service.fingerprint(id).unwrap().clone();
+        let cold = Updater::new(rebased_prior.clone(), cfg.clone()).unwrap();
+
+        service.rebase(id).unwrap();
+        let warm = service.updater(id).unwrap();
+
+        assert_eq!(
+            warm.reference_locations(),
+            cold.reference_locations(),
+            "{name}: warm rebase must select the same reference locations"
+        );
+        assert!(
+            warm.correlation().approx_eq(cold.correlation(), PARITY_TOL),
+            "{name}: warm correlation drifted past {PARITY_TOL}"
+        );
+
+        // The next committed database must match a from-scratch update.
+        service.run_cycle(90.0, 5).unwrap();
+        let control = cold
+            .update_from_testbed(service.testbed(id).unwrap(), 90.0, 5)
+            .unwrap();
+        assert!(
+            service
+                .fingerprint(id)
+                .unwrap()
+                .matrix()
+                .approx_eq(control.matrix(), PARITY_TOL),
+            "{name}: post-rebase database drifted past {PARITY_TOL}"
+        );
+    }
+}
+
+#[test]
+fn warm_rebase_parity_survives_snapshot_restore() {
+    for (name, env, seed, cfg) in configurations() {
+        let mut service = UpdateService::new();
+        let id = service
+            .register(name, Testbed::new(env, seed), cfg.clone(), 10)
+            .unwrap();
+        service.run_cycle(15.0, 5).unwrap();
+        service.rebase(id).unwrap();
+
+        // Kill the fleet right after the rebase; the snapshot records
+        // the warm-start basis, so restore skips MIC + LRR entirely.
+        let mut bytes = Vec::new();
+        write_service(&service.snapshot(), &mut bytes).unwrap();
+        drop(service);
+        let snap = read_service(bytes.as_slice()).unwrap();
+        assert!(
+            snap.deployments[0].correlation.is_some(),
+            "{name}: snapshot must record the warm-start basis"
+        );
+        let mut restored = UpdateService::restore(&snap).unwrap();
+        let rid = restored.ids()[0];
+
+        // From-scratch control on the restored prior.
+        let cold =
+            Updater::new(restored.updater(rid).unwrap().prior().clone(), cfg.clone()).unwrap();
+        assert_eq!(
+            restored.updater(rid).unwrap().reference_locations(),
+            cold.reference_locations(),
+            "{name}: restored engine reference set differs from from-scratch"
+        );
+        assert!(
+            restored
+                .updater(rid)
+                .unwrap()
+                .correlation()
+                .approx_eq(cold.correlation(), PARITY_TOL),
+            "{name}: restored correlation drifted past {PARITY_TOL}"
+        );
+
+        restored.run_cycle(45.0, 5).unwrap();
+        let control = cold
+            .update_from_testbed(restored.testbed(rid).unwrap(), 45.0, 5)
+            .unwrap();
+        assert!(
+            restored
+                .fingerprint(rid)
+                .unwrap()
+                .matrix()
+                .approx_eq(control.matrix(), PARITY_TOL),
+            "{name}: post-restore database drifted past {PARITY_TOL}"
+        );
+    }
+}
+
+#[test]
+fn restore_preserves_the_pre_truncation_warm_seed() {
+    // With a rank override, the reference set is a truncation of the
+    // full MIC selection, but the warm-start seed must survive a
+    // snapshot/restore round trip untruncated — otherwise every
+    // post-restore rebase would silently lose the certified fast path.
+    let cfg = UpdaterConfig {
+        rank: Some(4),
+        ..UpdaterConfig::default()
+    };
+    let mut service = UpdateService::new();
+    let id = service
+        .register("rank4", Testbed::new(Environment::office(), 2), cfg, 10)
+        .unwrap();
+    service.run_cycle(15.0, 5).unwrap();
+    let original_seed = service.updater(id).unwrap().seed_locations().to_vec();
+    let original_refs = service.updater(id).unwrap().reference_locations().to_vec();
+    assert!(
+        original_seed.len() > original_refs.len(),
+        "precondition: the rank override must actually truncate"
+    );
+
+    let mut bytes = Vec::new();
+    write_service(&service.snapshot(), &mut bytes).unwrap();
+    let restored = UpdateService::restore(&read_service(bytes.as_slice()).unwrap()).unwrap();
+    let rid = restored.ids()[0];
+    assert_eq!(
+        restored.updater(rid).unwrap().seed_locations(),
+        &original_seed[..],
+        "restore must carry the full pre-truncation seed"
+    );
+    assert_eq!(
+        restored.updater(rid).unwrap().reference_locations(),
+        &original_refs[..]
+    );
+}
+
+#[test]
+fn rebase_heavy_campaign_stays_on_parity() {
+    // A whole fleet rebased after every cycle, against a control fleet
+    // whose engines are rebuilt from scratch at the same points. This
+    // is the paper's long-campaign shape: the correlation anchor is
+    // periodically re-learned from the freshest database.
+    let mut warm_fleet = UpdateService::new();
+    let mut cold_engines: Vec<Updater> = Vec::new();
+    let mut cold_dbs: Vec<FingerprintMatrix> = Vec::new();
+    for (name, env, seed, cfg) in configurations().into_iter().take(4) {
+        let tb = Testbed::new(env, seed);
+        warm_fleet
+            .register(
+                name,
+                Testbed::new(tb.environment().clone(), seed),
+                cfg.clone(),
+                10,
+            )
+            .unwrap();
+        let day0 = FingerprintMatrix::survey(&tb, 0.0, 10);
+        cold_engines.push(Updater::new(day0.clone(), cfg).unwrap());
+        cold_dbs.push(day0);
+    }
+    let ids = warm_fleet.ids();
+    for (k, day) in [15.0, 45.0, 90.0].into_iter().enumerate() {
+        warm_fleet.run_cycle(day, 5).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            let tb = warm_fleet.testbed(id).unwrap();
+            cold_dbs[i] = cold_engines[i].update_from_testbed(tb, day, 5).unwrap();
+            assert!(
+                warm_fleet
+                    .fingerprint(id)
+                    .unwrap()
+                    .matrix()
+                    .approx_eq(cold_dbs[i].matrix(), PARITY_TOL),
+                "cycle {k}: deployment {i} drifted past {PARITY_TOL}"
+            );
+            warm_fleet.rebase(id).unwrap();
+            cold_engines[i] =
+                Updater::new(cold_dbs[i].clone(), cold_engines[i].config().clone()).unwrap();
+            assert_eq!(
+                warm_fleet.updater(id).unwrap().reference_locations(),
+                cold_engines[i].reference_locations(),
+                "cycle {k}: deployment {i} reference sets diverged"
+            );
+        }
+    }
+}

@@ -171,6 +171,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             ext_fleet::run,
         ),
         (
+            "ext-fleet-rebase",
+            "Rebase-heavy fleet campaign on the warm-start path (this repo)",
+            ext_fleet::run_rebase_heavy,
+        ),
+        (
             "ext-durability",
             "Durable fleet: kill/restore parity mid-campaign (this repo)",
             ext_durability::run,

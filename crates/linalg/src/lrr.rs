@@ -23,6 +23,15 @@
 use crate::shrink::{l21_shrink, svt};
 use crate::{LinalgError, Matrix, Result};
 
+/// Relative representability tolerance of the exactness certificate
+/// (see [`solve_lrr`]): the least-squares fit must reproduce `X` to
+/// this relative Frobenius accuracy before the closed form is trusted.
+const CERT_RESIDUAL_TOL: f64 = 1e-10;
+
+/// Safety margin on the certificate's `sigma_min` condition, so a
+/// borderline dictionary falls back to the iterative solver.
+const CERT_MARGIN: f64 = 1e-6;
+
 /// Options for the inexact-ALM LRR solver.
 #[derive(Debug, Clone)]
 pub struct LrrOptions {
@@ -39,6 +48,10 @@ pub struct LrrOptions {
     pub tol: f64,
     /// Iteration budget.
     pub max_iter: usize,
+    /// Disables the closed-form exactness certificate (see
+    /// [`solve_lrr`]) and always runs the ALM iteration — for
+    /// benchmarking the iterative path and for A/B tests.
+    pub force_iterative: bool,
 }
 
 impl Default for LrrOptions {
@@ -50,6 +63,7 @@ impl Default for LrrOptions {
             rho: 1.6,
             tol: 1e-7,
             max_iter: 500,
+            force_iterative: false,
         }
     }
 }
@@ -72,6 +86,28 @@ pub struct LrrSolution {
 /// `a` is the dictionary (`m x k`, the MIC vectors in the paper) and `x`
 /// is the data matrix (`m x n`).
 ///
+/// # Exactness certificate
+///
+/// Before iterating, the solver checks whether the global minimiser is
+/// available in closed form. Write `Z0` for the least-squares
+/// coefficients and suppose `X = A Z0` holds exactly (relative residual
+/// below `1e-10`) with `A` of full column rank `r`. Any feasible pair
+/// then satisfies `Z = Z0 − A⁺E`, so
+///
+/// ```text
+/// (‖Z‖_* + eps ‖E‖_{2,1}) − ‖Z0‖_*  >=  (eps − √r / σ_min(A)) ‖E‖_{2,1}
+/// ```
+///
+/// (using `‖A⁺E‖_* <= √r ‖A⁺‖_2 ‖E‖_F` and `‖E‖_F <= ‖E‖_{2,1}`).
+/// When `σ_min(A) · eps >= √r`, the right side is non-negative and
+/// `(Z0, E = 0)` is the exact global minimiser — returned directly with
+/// `iterations = 0`, skipping the ALM loop entirely. This is the common
+/// case for reconstructed fingerprint matrices (exactly low rank with a
+/// well-conditioned MIC dictionary); genuinely corrupted or
+/// ill-conditioned inputs fail the certificate and take the robust
+/// iterative path unchanged. Set [`LrrOptions::force_iterative`] to
+/// bypass the certificate.
+///
 /// # Errors
 ///
 /// - [`LinalgError::ShapeMismatch`] if `a.rows() != x.rows()`.
@@ -93,6 +129,12 @@ pub fn solve_lrr(a: &Matrix, x: &Matrix, opts: &LrrOptions) -> Result<LrrSolutio
         return Err(LinalgError::InvalidArgument(
             "lrr options: epsilon > 0, rho > 1, tol > 0 required",
         ));
+    }
+
+    if !opts.force_iterative {
+        if let Some(sol) = certified_minimizer(a, x, opts.epsilon) {
+            return Ok(sol);
+        }
     }
 
     let k = a.cols();
@@ -172,6 +214,36 @@ pub fn solve_lrr(a: &Matrix, x: &Matrix, opts: &LrrOptions) -> Result<LrrSolutio
     }
     Err(LinalgError::NonConvergence {
         iterations: opts.max_iter,
+    })
+}
+
+/// The closed-form exactness certificate (see [`solve_lrr`]): returns
+/// the certified global minimiser `(Z = A⁺X, E = 0)` when the
+/// dictionary is well-conditioned enough (`σ_min(A) · eps >= √r` with
+/// margin) and the least-squares fit reproduces `X` exactly (relative
+/// residual below the representability tolerance). Any failure — rank
+/// deficiency, a borderline condition, an inaccurate normal-equation
+/// solve — simply declines, and the iterative path runs as before.
+fn certified_minimizer(a: &Matrix, x: &Matrix, epsilon: f64) -> Option<LrrSolution> {
+    let k = a.cols();
+    let singulars = a.singular_values().ok()?;
+    let sigma_min = *singulars.last()?;
+    if sigma_min * epsilon < (k as f64).sqrt() * (1.0 + CERT_MARGIN) {
+        return None;
+    }
+    let rhs = a.transpose().matmul(x).ok()?;
+    let z = a.gram().solve_matrix(&rhs).ok()?;
+    let recon = a.matmul(&z).ok()?;
+    let x_norm = x.frobenius_norm().max(f64::MIN_POSITIVE);
+    let residual = (&recon - x).frobenius_norm() / x_norm;
+    if residual.is_nan() || residual > CERT_RESIDUAL_TOL {
+        return None;
+    }
+    Some(LrrSolution {
+        z,
+        e: Matrix::zeros(x.rows(), x.cols()),
+        iterations: 0,
+        residual,
     })
 }
 
@@ -271,6 +343,78 @@ mod tests {
             ..LrrOptions::default()
         };
         assert!(solve_lrr(&a, &x, &bad_rho).is_err());
+    }
+
+    #[test]
+    fn certificate_matches_iterative_solution_on_exact_data() {
+        // A well-conditioned dictionary and exactly representable data:
+        // the certificate fires, and its closed form agrees with the
+        // (approximate) ALM answer to the ALM's own accuracy.
+        let mut rng = StdRng::seed_from_u64(7);
+        // Strong diagonal keeps sigma_min comfortably above sqrt(k)/eps.
+        let a = Matrix::from_fn(
+            6,
+            3,
+            |i, j| {
+                if i == j {
+                    8.0
+                } else {
+                    rng.gen::<f64>() * 0.5
+                }
+            },
+        );
+        let z0 = random_matrix(3, 12, &mut rng);
+        let x = a.matmul(&z0).unwrap();
+        let fast = solve_lrr(&a, &x, &LrrOptions::default()).unwrap();
+        assert_eq!(fast.iterations, 0, "certificate should fire");
+        assert!(fast.e.frobenius_norm() == 0.0);
+        assert!(fast.z.approx_eq(&z0, 1e-9), "closed form recovers Z0");
+        let slow = solve_lrr(
+            &a,
+            &x,
+            &LrrOptions {
+                force_iterative: true,
+                ..LrrOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(slow.iterations > 0, "force_iterative must iterate");
+        let rel = (&slow.z - &fast.z).frobenius_norm() / fast.z.frobenius_norm();
+        assert!(
+            rel < 1e-4,
+            "ALM approximates the certified minimiser: {rel}"
+        );
+    }
+
+    #[test]
+    fn certificate_declines_on_corruption_and_bad_conditioning() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // Corrupted data outside span(A): not representable.
+        let a = Matrix::from_fn(
+            8,
+            3,
+            |i, j| if i == j { 8.0 } else { rng.gen::<f64>() * 0.5 },
+        );
+        let z0 = random_matrix(3, 10, &mut rng);
+        let mut x = a.matmul(&z0).unwrap();
+        for i in 0..8 {
+            x[(i, 4)] += 10.0;
+        }
+        let sol = solve_lrr(&a, &x, &LrrOptions::default()).unwrap();
+        assert!(sol.iterations > 0, "corrupted data must take the ALM path");
+        // Ill-conditioned dictionary (tiny sigma_min): certificate must
+        // decline even though the data is exactly representable.
+        let a_bad = Matrix::from_fn(6, 2, |i, j| {
+            let base = (i as f64 * 0.7).sin();
+            base + j as f64 * 1e-6
+        });
+        let z0 = random_matrix(2, 9, &mut rng);
+        let x = a_bad.matmul(&z0).unwrap();
+        let sol = solve_lrr(&a_bad, &x, &LrrOptions::default()).unwrap();
+        assert!(
+            sol.iterations > 0,
+            "ill-conditioned dictionary must take the ALM path"
+        );
     }
 
     #[test]

@@ -1,11 +1,52 @@
-//! Householder QR and rank-revealing column-pivoted QR.
+//! Householder QR and rank-revealing column-pivoted QR, plus an
+//! *updatable* pivoted factorisation.
 //!
 //! Column-pivoted QR is the numerically robust way to find a maximal set
 //! of linearly independent columns — the paper's "maximum independent
 //! column (MIC) vectors" (Sec. IV-B) — on approximately-low-rank noisy
 //! matrices.
+//!
+//! # Incremental updates
+//!
+//! [`PivotedQr`] retains the matrix it factored, which makes three
+//! incremental operations possible without refactoring from scratch:
+//!
+//! - [`PivotedQr::append_columns`] extends the factorisation to cover
+//!   new trailing columns by orthogonalising them against the existing
+//!   `Q` — valid only when the greedy pivot order provably survives;
+//! - [`PivotedQr::remove_columns`] drops columns; removing a non-pivot
+//!   column is *exactly* equivalent to a fresh factorisation (the
+//!   greedy never looked at it), so the factor is edited in place;
+//! - [`PivotedQr::refactor_if_drifted`] is the safety valve: it
+//!   measures the factor residual `‖A P − Q R‖_F / ‖A‖_F` and falls
+//!   back to a full refactorisation past a tolerance.
+//!
+//! Each incremental operation *certifies* that greedy column-pivoted
+//! MGS on the updated matrix would make exactly the same selections:
+//! every pivot must dominate every competitor with a relative margin of
+//! at least [`PIVOT_DRIFT_TOL`] (the drift-tolerance fallback rule).
+//! When a margin is too thin to certify — the incremental estimate has
+//! drifted into ambiguity — the operation silently performs the full
+//! refactorisation instead and reports it in its return value, so the
+//! fast path can never produce a factor that disagrees with
+//! [`Matrix::pivoted_qr`] on rank or leading columns.
+//!
+//! [`Matrix::certify_pivot_seed`] exposes the same certification for a
+//! caller-proposed pivot *set* (used by the core layer to re-pivot a
+//! fresh fingerprint matrix against the previous MIC locations).
 
 use crate::{LinalgError, Matrix, Result};
+
+/// Relative dominance margin below which the incremental pivoted-QR
+/// paths refuse to certify a pivot decision and fall back to a full
+/// refactorisation (see the module docs).
+///
+/// The greedy reference implementation tracks residual column norms by
+/// *downdating* while the certification paths recompute them from
+/// projection coefficients; the two agree to roughly
+/// `machine epsilon x condition number`, so any comparison decided by
+/// less than this margin is treated as ambiguous.
+pub const PIVOT_DRIFT_TOL: f64 = 1e-8;
 
 /// Thin QR factorisation `A = Q R` with `Q` of shape `m x k`,
 /// `R` of shape `k x n`, `k = min(m, n)`.
@@ -18,6 +59,10 @@ pub struct Qr {
 }
 
 /// Column-pivoted QR factorisation `A P = Q R`.
+///
+/// Retains the factored matrix so the incremental operations
+/// ([`PivotedQr::append_columns`], [`PivotedQr::remove_columns`],
+/// [`PivotedQr::refactor_if_drifted`]) are self-contained.
 #[derive(Debug, Clone)]
 pub struct PivotedQr {
     /// Orthonormal factor (`m x k`).
@@ -28,6 +73,12 @@ pub struct PivotedQr {
     /// permuted column `j`. The first `rank` entries name the
     /// most-independent columns, in decreasing pivot magnitude.
     pub perm: Vec<usize>,
+    /// The factored matrix, in original column order.
+    a: Matrix,
+    /// Number of pivot steps the greedy loop completed before running
+    /// out of residual mass (`<= min(m, n)`; rows of `r` beyond `chain`
+    /// are zero).
+    chain: usize,
 }
 
 impl Matrix {
@@ -93,10 +144,31 @@ impl Matrix {
     /// Column-pivoted (rank-revealing) QR via modified Gram-Schmidt with
     /// greedy pivoting on residual column norms.
     ///
+    /// The returned factorisation retains a copy of `self` so the
+    /// incremental operations ([`PivotedQr::append_columns`] and
+    /// friends) are self-contained — one-shot callers pay one `m x n`
+    /// copy. Rank queries that need no factor go through
+    /// [`Matrix::rank`], which skips the copy.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::InvalidArgument`] for an empty matrix.
     pub fn pivoted_qr(&self) -> Result<PivotedQr> {
+        let (qt, r, perm, chain) = self.pivoted_qr_parts()?;
+        Ok(PivotedQr {
+            q: qt.transpose(),
+            r,
+            perm,
+            a: self.clone(),
+            chain,
+        })
+    }
+
+    /// The factorisation loop of [`Matrix::pivoted_qr`], returning the
+    /// raw `(Qᵀ, R, perm, chain)` parts without cloning `self` or
+    /// transposing `Qᵀ` — for internal callers that only need part of
+    /// the result.
+    fn pivoted_qr_parts(&self) -> Result<(Matrix, Matrix, Vec<usize>, usize)> {
         if self.is_empty() {
             return Err(LinalgError::InvalidArgument("pivoted_qr of empty matrix"));
         }
@@ -109,6 +181,7 @@ impl Matrix {
         let mut perm: Vec<usize> = (0..n).collect();
         let mut qt = Matrix::zeros(k, m); // row s = q_s
         let mut r = Matrix::zeros(k, n);
+        let mut chain = 0;
 
         // Residual squared norms of each (permuted) column.
         let mut res: Vec<f64> = (0..n)
@@ -148,6 +221,7 @@ impl Matrix {
                 *qi = wi / norm;
             }
             r[(step, step)] = norm;
+            chain = step + 1;
             // Orthogonalise remaining columns against q_step.
             for j in (step + 1)..n {
                 let q_step = qt.row(step);
@@ -158,11 +232,182 @@ impl Matrix {
                 res[j] = (res[j] - dot * dot).max(0.0);
             }
         }
-        Ok(PivotedQr {
-            q: qt.transpose(),
-            r,
-            perm,
-        })
+        Ok((qt, r, perm, chain))
+    }
+
+    /// The leading (most linearly independent) columns of `self` at
+    /// relative tolerance `rank_tol`, in greedy pivot order — the
+    /// first `rank` pivots of [`Matrix::pivoted_qr`], where `rank`
+    /// counts diagonal entries above `rank_tol * |R[0,0]|`. Returns an
+    /// empty list for a numerically zero matrix.
+    ///
+    /// Unlike `pivoted_qr().leading_columns(..)`, this one-shot query
+    /// materialises no factorisation and retains no matrix copy — it
+    /// is the cheap entry point for MIC-style selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] for an empty matrix or
+    /// a `rank_tol` outside `(0, 1)`.
+    pub fn pivoted_leading_columns(&self, rank_tol: f64) -> Result<Vec<usize>> {
+        if rank_tol.is_nan() || rank_tol <= 0.0 || rank_tol >= 1.0 {
+            return Err(LinalgError::InvalidArgument("rank_tol must be in (0, 1)"));
+        }
+        let (_, r, perm, _) = self.pivoted_qr_parts()?;
+        let k = r.rows().min(r.cols());
+        let r00 = r[(0, 0)].abs();
+        if r00 == 0.0 {
+            return Ok(Vec::new());
+        }
+        let rank = (0..k)
+            .take_while(|&i| r[(i, i)].abs() > rank_tol * r00)
+            .count();
+        Ok(perm[..rank].to_vec())
+    }
+
+    /// Certifies that greedy column-pivoted QR on `self` would select
+    /// exactly the columns in `seed` — no more, no fewer — as its
+    /// rank-revealing leading columns at relative tolerance `rank_tol`.
+    ///
+    /// On success, returns the certified pivot chain (the `seed`
+    /// columns in the order the greedy would pick them), which is
+    /// exactly `self.pivoted_qr()?.leading_columns(rank)` for the rank
+    /// implied by `rank_tol`. Returns `Ok(None)` when the seed cannot
+    /// be certified — it is rank-deficient on `self`, some non-seed
+    /// column would win a pivot step, the implied rank differs, or a
+    /// decision falls inside the relative `margin`
+    /// (use [`PIVOT_DRIFT_TOL`]) and is therefore ambiguous.
+    ///
+    /// Cost is one `k x n` projection (`QᵀA`) plus an `m k²` restricted
+    /// factorisation — it avoids the full greedy sweep that updates
+    /// every column at every step, and on rank-deficient matrices it
+    /// performs `k = seed.len()` steps instead of `min(m, n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] for an empty matrix, a
+    /// `rank_tol` outside `(0, 1)`, a negative `margin`, or a seed that
+    /// is empty, out of range, duplicated, or larger than `min(m, n)`.
+    pub fn certify_pivot_seed(
+        &self,
+        seed: &[usize],
+        rank_tol: f64,
+        margin: f64,
+    ) -> Result<Option<Vec<usize>>> {
+        if self.is_empty() {
+            return Err(LinalgError::InvalidArgument(
+                "certify_pivot_seed of empty matrix",
+            ));
+        }
+        if !(0.0..1.0).contains(&rank_tol) || rank_tol == 0.0 {
+            return Err(LinalgError::InvalidArgument("rank_tol must be in (0, 1)"));
+        }
+        if !margin.is_finite() || margin < 0.0 {
+            return Err(LinalgError::InvalidArgument(
+                "margin must be finite and >= 0",
+            ));
+        }
+        let (m, n) = self.shape();
+        let k = seed.len();
+        if k == 0 || k > m.min(n) {
+            return Err(LinalgError::InvalidArgument(
+                "seed must name between 1 and min(m, n) columns",
+            ));
+        }
+        let mut sorted = seed.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != k || *sorted.last().expect("non-empty") >= n {
+            return Err(LinalgError::InvalidArgument(
+                "seed columns must be unique and in range",
+            ));
+        }
+
+        // Greedy pivoted MGS restricted to the seed columns. The
+        // operations mirror `pivoted_qr` exactly, so for the seed
+        // columns the residuals and q vectors are bit-identical to what
+        // the full greedy would compute once the chain is certified.
+        let mut workt = Matrix::zeros(k, m);
+        for (s, &j) in seed.iter().enumerate() {
+            for i in 0..m {
+                workt[(s, i)] = self[(i, j)];
+            }
+        }
+        let mut order: Vec<usize> = seed.to_vec();
+        let mut res: Vec<f64> = (0..k)
+            .map(|s| workt.row(s).iter().map(|x| x * x).sum())
+            .collect();
+        let mut qt = Matrix::zeros(k, m);
+        // `sel_res[s]`: the (downdated) residual squared norm the step-s
+        // pivot was selected at; `diag[s]`: its vector norm `R[s,s]`.
+        let mut sel_res = vec![0.0; k];
+        let mut diag = vec![0.0; k];
+        for step in 0..k {
+            let (pivot, &pivot_res) = res
+                .iter()
+                .enumerate()
+                .skip(step)
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty residual list");
+            if pivot != step {
+                let (a, b) = workt.rows_pair_mut(step, pivot);
+                a.swap_with_slice(b);
+                order.swap(step, pivot);
+                res.swap(step, pivot);
+            }
+            let pivot_col = workt.row(step);
+            let norm = pivot_col.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < f64::EPSILON {
+                // The seed is numerically rank-deficient on this matrix.
+                return Ok(None);
+            }
+            for (qi, &wi) in qt.row_mut(step).iter_mut().zip(pivot_col) {
+                *qi = wi / norm;
+            }
+            sel_res[step] = pivot_res;
+            diag[step] = norm;
+            for (s, res_s) in res.iter_mut().enumerate().skip(step + 1) {
+                let q_step = qt.row(step);
+                let col = workt.row_mut(s);
+                let dot = Matrix::dot(q_step, col);
+                crate::view::axpy_slice(-dot, q_step, col);
+                *res_s = (*res_s - dot * dot).max(0.0);
+            }
+        }
+        // Rank certification: every seed diagonal must clear the
+        // rank-tolerance threshold with margin, so the implied rank is
+        // exactly k on the fresh factorisation too.
+        let threshold = rank_tol * diag[0];
+        if diag.iter().any(|&d| d <= threshold * (1.0 + margin)) {
+            return Ok(None);
+        }
+
+        // Project every non-seed column onto the certified basis
+        // (classical Gram-Schmidt via one blocked matmul) and check
+        // per-step dominance plus the final below-threshold condition.
+        let coeff = qt.matmul(self)?; // k x n
+        let mut in_seed = vec![false; n];
+        for &j in seed {
+            in_seed[j] = true;
+        }
+        for j in (0..n).filter(|&j| !in_seed[j]) {
+            let mut r_j: f64 = (0..m).map(|i| self[(i, j)] * self[(i, j)]).sum();
+            for s in 0..k {
+                // Dominance before step s: the chosen pivot must beat
+                // this column's residual with margin.
+                if sel_res[s] <= r_j * (1.0 + margin) {
+                    return Ok(None);
+                }
+                let c = coeff[(s, j)];
+                r_j = (r_j - c * c).max(0.0);
+            }
+            // After the chain, the column must fall below the rank
+            // threshold with margin, or the fresh rank would exceed k.
+            if r_j * (1.0 + margin) >= threshold * threshold {
+                return Ok(None);
+            }
+        }
+        Ok(Some(order))
     }
 
     /// Numerical rank: the number of diagonal entries of the pivoted-QR
@@ -176,15 +421,15 @@ impl Matrix {
         if tol <= 0.0 {
             return Err(LinalgError::InvalidArgument("rank tolerance must be > 0"));
         }
-        let qr = self.pivoted_qr()?;
-        let k = qr.r.rows();
-        let r00 = qr.r[(0, 0)].abs();
+        // Only the diagonal of R is needed: skip the matrix retention
+        // and Q transposition of the full `pivoted_qr`.
+        let (_, r, _, _) = self.pivoted_qr_parts()?;
+        let k = r.rows();
+        let r00 = r[(0, 0)].abs();
         if r00 == 0.0 {
             return Ok(0);
         }
-        Ok((0..k)
-            .take_while(|&i| qr.r[(i, i)].abs() > tol * r00)
-            .count())
+        Ok((0..k).take_while(|&i| r[(i, i)].abs() > tol * r00).count())
     }
 }
 
@@ -198,6 +443,268 @@ impl PivotedQr {
     pub fn leading_columns(&self, count: usize) -> Vec<usize> {
         assert!(count <= self.perm.len(), "count exceeds column count");
         self.perm[..count].to_vec()
+    }
+
+    /// The matrix this factorisation covers, in original column order
+    /// (kept in sync by the incremental operations).
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Number of pivot steps the greedy loop completed (rows of `r`
+    /// beyond this are zero; the numerical rank is at most this).
+    pub fn chain_len(&self) -> usize {
+        self.chain
+    }
+
+    /// Numerical rank at relative tolerance `tol`: the number of
+    /// diagonal entries of `r` larger than `tol * |R[0,0]|`, exactly as
+    /// [`Matrix::rank`] counts them.
+    pub fn rank_at(&self, tol: f64) -> usize {
+        let k = self.r.rows().min(self.r.cols());
+        let r00 = self.r[(0, 0)].abs();
+        if r00 == 0.0 {
+            return 0;
+        }
+        (0..k)
+            .take_while(|&i| self.r[(i, i)].abs() > tol * r00)
+            .count()
+    }
+
+    /// Replaces this factorisation with a fresh greedy one of `self.a`.
+    fn refactor(&mut self) -> Result<()> {
+        // Via the parts constructor: the retained matrix is already in
+        // `self.a`, so no clone is needed (unlike `a.pivoted_qr()`).
+        let (qt, r, perm, chain) = self.a.pivoted_qr_parts()?;
+        self.q = qt.transpose();
+        self.r = r;
+        self.perm = perm;
+        self.chain = chain;
+        Ok(())
+    }
+
+    /// Extends the factorisation to cover `[A | new_cols]`.
+    ///
+    /// Fast path: each new column is orthogonalised against the
+    /// existing `Q` (one blocked `Qᵀ C` projection) and appended as a
+    /// trailing non-pivot column — valid only when every existing pivot
+    /// still dominates every new column with the [`PIVOT_DRIFT_TOL`]
+    /// margin *and*, for a factorisation whose pivot chain ended early,
+    /// the new columns provably add no residual mass (so the greedy
+    /// would still stop where it stopped). Otherwise the whole extended
+    /// matrix is refactored from scratch.
+    ///
+    /// Returns `true` when the fast path applied, `false` when a full
+    /// refactorisation was needed. Either way the factor afterwards
+    /// agrees with `[A | new_cols].pivoted_qr()` on rank and leading
+    /// columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] for an empty `new_cols`
+    /// and [`LinalgError::ShapeMismatch`] for a row-count mismatch.
+    pub fn append_columns(&mut self, new_cols: &Matrix) -> Result<bool> {
+        if new_cols.is_empty() {
+            return Err(LinalgError::InvalidArgument(
+                "append_columns requires at least one column",
+            ));
+        }
+        let (m, n_old) = self.a.shape();
+        if new_cols.rows() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "append_columns",
+                lhs: self.a.shape(),
+                rhs: new_cols.shape(),
+            });
+        }
+        let extra = new_cols.cols();
+        let a_new = self.a.hcat(new_cols)?;
+        let n_new = n_old + extra;
+        let k_new = m.min(n_new);
+
+        let certified = self.certify_append(new_cols, k_new);
+        match certified {
+            Some(coeff) => {
+                // Assemble: R gains `extra` trailing columns (and zero
+                // rows up to the new k), Q gains zero columns likewise,
+                // perm gains the new original indices at the tail.
+                let k_old = self.r.rows();
+                let mut r = Matrix::zeros(k_new, n_new);
+                for i in 0..k_old {
+                    r.row_mut(i)[..n_old].copy_from_slice(self.r.row(i));
+                }
+                for (s, row) in coeff.iter().enumerate().take(self.chain.min(k_new)) {
+                    r.row_mut(s)[n_old..].copy_from_slice(row);
+                }
+                let mut q = Matrix::zeros(m, k_new);
+                for i in 0..m {
+                    q.row_mut(i)[..k_old].copy_from_slice(self.q.row(i));
+                }
+                self.q = q;
+                self.r = r;
+                self.perm.extend(n_old..n_new);
+                self.a = a_new;
+                Ok(true)
+            }
+            None => {
+                self.a = a_new;
+                self.refactor()?;
+                Ok(false)
+            }
+        }
+    }
+
+    /// The certification half of [`PivotedQr::append_columns`]: returns
+    /// the per-chain-step projection coefficients of the new columns
+    /// (`chain` rows of `extra` entries) when the existing pivot chain
+    /// provably survives the append, `None` otherwise.
+    fn certify_append(&self, new_cols: &Matrix, k_new: usize) -> Option<Vec<Vec<f64>>> {
+        if self.chain == 0 {
+            // Degenerate factor (zero matrix): anything could pivot.
+            return None;
+        }
+        let margin = PIVOT_DRIFT_TOL;
+        let m = self.a.rows();
+        let extra = new_cols.cols();
+        // sel_res[s]: the residual norm the step-s pivot was selected
+        // at. The greedy selects on downdated residuals; for the pivot
+        // itself that value is `R[s,s]^2` (its vector norm at pivot
+        // time), which is exact — later-step comparisons against other
+        // columns used values at least this large.
+        let coeff_mat = {
+            // Qᵀ C as one blocked matmul (classical Gram-Schmidt
+            // coefficients; the margin absorbs the CGS/MGS difference).
+            let qt = self.q.transpose();
+            qt.matmul(new_cols).expect("shapes checked by caller")
+        };
+        let mut coeff: Vec<Vec<f64>> = vec![vec![0.0; extra]; self.chain];
+        for j in 0..extra {
+            let mut r_j: f64 = (0..m).map(|i| new_cols[(i, j)] * new_cols[(i, j)]).sum();
+            for s in 0..self.chain {
+                let d = self.r[(s, s)];
+                if d * d <= r_j * (1.0 + margin) {
+                    // This new column would have won (or tied) pivot
+                    // step s: the existing chain is not certified.
+                    return None;
+                }
+                let c = coeff_mat[(s, j)];
+                coeff[s][j] = c;
+                r_j = (r_j - c * c).max(0.0);
+            }
+            if self.chain < k_new {
+                // The fresh greedy would run further steps: it stops at
+                // `chain` only if no column retains residual mass above
+                // the machine floor (existing columns already satisfy
+                // this — their residuals are untouched by an append).
+                let floor = f64::EPSILON * f64::EPSILON;
+                if r_j * (1.0 + margin) >= floor {
+                    return None;
+                }
+            }
+        }
+        Some(coeff)
+    }
+
+    /// Shrinks the factorisation by removing the columns whose
+    /// *original* indices are listed in `removed` (remaining columns
+    /// keep their relative order; `perm` is remapped).
+    ///
+    /// Fast path: when no removed column is a chain pivot, the greedy
+    /// never selected any of them, so dropping them leaves every pivot
+    /// decision — and every numerical value of `Q` and `R` — exactly
+    /// as a fresh factorisation of the smaller matrix would compute
+    /// them; the factor is edited in place. Removing a pivot column
+    /// triggers a full refactorisation instead.
+    ///
+    /// Returns `true` when the fast path applied, `false` when a full
+    /// refactorisation was needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] when `removed` is
+    /// empty, out of range, duplicated, or names every column.
+    pub fn remove_columns(&mut self, removed: &[usize]) -> Result<bool> {
+        let n_old = self.a.cols();
+        let mut sorted = removed.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != removed.len() || removed.is_empty() {
+            return Err(LinalgError::InvalidArgument(
+                "removed columns must be non-empty and unique",
+            ));
+        }
+        if *sorted.last().expect("non-empty") >= n_old {
+            return Err(LinalgError::InvalidArgument("removed column out of range"));
+        }
+        if sorted.len() == n_old {
+            return Err(LinalgError::InvalidArgument("cannot remove every column"));
+        }
+        let mut is_removed = vec![false; n_old];
+        for &j in &sorted {
+            is_removed[j] = true;
+        }
+        let kept: Vec<usize> = (0..n_old).filter(|&j| !is_removed[j]).collect();
+        let touches_pivot = self.perm[..self.chain].iter().any(|&j| is_removed[j]);
+        self.a = self.a.select_cols(&kept);
+        if touches_pivot {
+            self.refactor()?;
+            return Ok(false);
+        }
+        // Original index -> new index after the removals.
+        let mut remap = vec![usize::MAX; n_old];
+        for (new_j, &old_j) in kept.iter().enumerate() {
+            remap[old_j] = new_j;
+        }
+        let kept_positions: Vec<usize> = (0..self.perm.len())
+            .filter(|&p| !is_removed[self.perm[p]])
+            .collect();
+        let n_new = kept.len();
+        let m = self.a.rows();
+        // The chain pivots are all kept, so `chain <= min(m, n_new)`
+        // and trimming to the fresh factor's row count is safe.
+        let k_new = m.min(n_new);
+        let mut r = Matrix::zeros(k_new, n_new);
+        for i in 0..k_new {
+            for (new_p, &old_p) in kept_positions.iter().enumerate() {
+                r[(i, new_p)] = self.r[(i, old_p)];
+            }
+        }
+        let mut q = Matrix::zeros(m, k_new);
+        for i in 0..m {
+            q.row_mut(i).copy_from_slice(&self.q.row(i)[..k_new]);
+        }
+        self.perm = kept_positions
+            .into_iter()
+            .map(|p| remap[self.perm[p]])
+            .collect();
+        self.q = q;
+        self.r = r;
+        Ok(true)
+    }
+
+    /// Measures the factor residual `‖A P − Q R‖_F / ‖A‖_F` and, when
+    /// it exceeds `tol`, refactors from scratch — the safety valve that
+    /// bounds error accumulation over long append/remove sequences.
+    ///
+    /// Returns `true` when a refactorisation happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] for a non-positive
+    /// `tol`.
+    pub fn refactor_if_drifted(&mut self, tol: f64) -> Result<bool> {
+        if tol.is_nan() || tol <= 0.0 {
+            return Err(LinalgError::InvalidArgument("drift tolerance must be > 0"));
+        }
+        let permuted = self.a.select_cols(&self.perm);
+        let product = self.q.matmul(&self.r)?;
+        let denom = self.a.frobenius_norm().max(f64::MIN_POSITIVE);
+        let drift = (&product - &permuted).frobenius_norm() / denom;
+        if drift > tol {
+            self.refactor()?;
+            return Ok(true);
+        }
+        Ok(false)
     }
 }
 
@@ -316,5 +823,211 @@ mod tests {
         assert_eq!(qr.q.shape(), (3, 3));
         assert_eq!(qr.r.shape(), (3, 8));
         assert!(qr.q.matmul(&qr.r).unwrap().approx_eq(&a, 1e-10));
+    }
+
+    /// `pqr` and a fresh factorisation of its matrix agree on rank and
+    /// leading columns, and `pqr` reconstructs its matrix.
+    fn assert_matches_fresh(pqr: &PivotedQr, tol: f64) {
+        let fresh = pqr.matrix().pivoted_qr().unwrap();
+        let rank = fresh.rank_at(tol);
+        assert_eq!(pqr.rank_at(tol), rank, "rank mismatch vs fresh");
+        assert_eq!(
+            pqr.leading_columns(rank),
+            fresh.leading_columns(rank),
+            "leading columns mismatch vs fresh"
+        );
+        let recon = pqr.q.matmul(&pqr.r).unwrap();
+        let permuted = pqr.matrix().select_cols(&pqr.perm);
+        let scale = pqr.matrix().frobenius_norm().max(1.0);
+        assert!(
+            (&recon - &permuted).frobenius_norm() <= 1e-9 * scale,
+            "factor residual too large"
+        );
+    }
+
+    /// A wide matrix whose trailing columns are correlated mixes of the
+    /// leading ones plus a small perturbation — the shape where the
+    /// incremental paths certify.
+    fn correlated_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis = Matrix::from_fn(m, m, |i, j| {
+            if i == j {
+                10.0
+            } else {
+                rng.gen::<f64>() * 2.0 - 1.0
+            }
+        });
+        let mix = Matrix::from_fn(m, n, |_, _| rng.gen::<f64>() * 0.2 - 0.1);
+        let mut x = basis.matmul(&mix).unwrap();
+        for i in 0..m {
+            for j in 0..m.min(n) {
+                x[(i, j)] += basis[(i, j)] * 3.0;
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn append_dominated_columns_keeps_factor() {
+        let a = correlated_matrix(6, 18, 11);
+        let mut pqr = a.pivoted_qr().unwrap();
+        let chain_before = pqr.chain_len();
+        // New columns that are mixes of existing ones: dominated.
+        let mix = Matrix::from_fn(18, 3, |i, j| ((i + 2 * j) as f64 * 0.37).sin() * 0.05);
+        let new_cols = a.matmul(&mix).unwrap();
+        let fast = pqr.append_columns(&new_cols).unwrap();
+        assert!(fast, "dominated append should take the fast path");
+        assert_eq!(
+            pqr.chain_len(),
+            chain_before,
+            "append must not extend the chain"
+        );
+        assert_eq!(pqr.matrix().shape(), (6, 21));
+        assert_matches_fresh(&pqr, 1e-9);
+    }
+
+    #[test]
+    fn append_dominant_column_falls_back() {
+        let a = correlated_matrix(5, 12, 12);
+        let mut pqr = a.pivoted_qr().unwrap();
+        // A new column 100x stronger than anything present must become
+        // the first pivot: the fast path cannot certify that.
+        let strong = a.select_cols(&[0]).scale(100.0);
+        let fast = pqr.append_columns(&strong).unwrap();
+        assert!(!fast, "dominant append must refactor");
+        assert_eq!(pqr.leading_columns(1), vec![12]);
+        assert_matches_fresh(&pqr, 1e-9);
+    }
+
+    #[test]
+    fn remove_non_pivot_is_bit_identical_to_fresh() {
+        let a = correlated_matrix(5, 14, 13);
+        let mut pqr = a.pivoted_qr().unwrap();
+        let rank = pqr.rank_at(1e-9);
+        let lead = pqr.leading_columns(rank);
+        // Remove two columns that are not leading pivots.
+        let victims: Vec<usize> = (0..14).filter(|j| !lead.contains(j)).take(2).collect();
+        let fast = pqr.remove_columns(&victims).unwrap();
+        assert!(fast, "non-pivot removal should be in-place");
+        let fresh = pqr.matrix().pivoted_qr().unwrap();
+        // Exact parity, not approximate: the greedy never looked at the
+        // removed columns, so every surviving number is unchanged.
+        assert_eq!(pqr.perm, fresh.perm);
+        assert!(pqr.q.approx_eq(&fresh.q, 0.0));
+        assert!(pqr.r.approx_eq(&fresh.r, 0.0));
+    }
+
+    #[test]
+    fn remove_pivot_column_refactors() {
+        let a = correlated_matrix(5, 12, 14);
+        let mut pqr = a.pivoted_qr().unwrap();
+        let first_pivot = pqr.leading_columns(1)[0];
+        let fast = pqr.remove_columns(&[first_pivot]).unwrap();
+        assert!(!fast, "pivot removal must refactor");
+        assert_eq!(pqr.matrix().cols(), 11);
+        assert_matches_fresh(&pqr, 1e-9);
+    }
+
+    #[test]
+    fn incremental_ops_validate_arguments() {
+        let a = correlated_matrix(4, 8, 15);
+        let mut pqr = a.pivoted_qr().unwrap();
+        assert!(pqr.append_columns(&Matrix::zeros(3, 1)).is_err()); // row mismatch
+        assert!(pqr.remove_columns(&[]).is_err());
+        assert!(pqr.remove_columns(&[99]).is_err());
+        assert!(pqr.remove_columns(&[1, 1]).is_err());
+        assert!(pqr.remove_columns(&(0..8).collect::<Vec<_>>()).is_err());
+        assert!(pqr.refactor_if_drifted(0.0).is_err());
+    }
+
+    #[test]
+    fn refactor_if_drifted_repairs_a_tampered_factor() {
+        let a = correlated_matrix(4, 9, 16);
+        let mut pqr = a.pivoted_qr().unwrap();
+        assert!(
+            !pqr.refactor_if_drifted(1e-9).unwrap(),
+            "fresh factor is clean"
+        );
+        // Corrupt an R entry: the drift check must notice and repair.
+        pqr.r[(0, 3)] += 5.0;
+        assert!(pqr.refactor_if_drifted(1e-9).unwrap());
+        assert_matches_fresh(&pqr, 1e-9);
+    }
+
+    #[test]
+    fn certify_pivot_seed_accepts_the_true_leading_set() {
+        let a = correlated_matrix(6, 20, 17);
+        let fresh = a.pivoted_qr().unwrap();
+        let rank = fresh.rank_at(1e-6);
+        let lead = fresh.leading_columns(rank);
+        // Hand the certified path the set in sorted (non-pivot) order:
+        // it must recover the greedy chain order itself.
+        let mut seed = lead.clone();
+        seed.sort_unstable();
+        let chain = a
+            .certify_pivot_seed(&seed, 1e-6, PIVOT_DRIFT_TOL)
+            .unwrap()
+            .expect("true leading set must certify");
+        assert_eq!(chain, lead);
+    }
+
+    #[test]
+    fn certify_pivot_seed_rejects_wrong_or_deficient_seeds() {
+        let a = correlated_matrix(6, 20, 18);
+        let fresh = a.pivoted_qr().unwrap();
+        let rank = fresh.rank_at(1e-6);
+        let lead = fresh.leading_columns(rank);
+        // A seed missing the strongest pivot cannot be certified.
+        let mut wrong: Vec<usize> = (0..20).filter(|j| !lead.contains(j)).take(rank).collect();
+        wrong.sort_unstable();
+        assert!(a
+            .certify_pivot_seed(&wrong, 1e-6, PIVOT_DRIFT_TOL)
+            .unwrap()
+            .is_none());
+        // A duplicated column in the matrix makes the seed dependent.
+        let mut doubled = a.clone();
+        let c0 = doubled.col(lead[0]);
+        doubled.set_col(lead[1], &c0);
+        let dep_seed = vec![lead[0].min(lead[1]), lead[0].max(lead[1])];
+        assert!(doubled
+            .certify_pivot_seed(&dep_seed, 1e-6, PIVOT_DRIFT_TOL)
+            .unwrap()
+            .is_none());
+        // Argument validation.
+        assert!(a.certify_pivot_seed(&[], 1e-6, 1e-8).is_err());
+        assert!(a.certify_pivot_seed(&[0, 0], 1e-6, 1e-8).is_err());
+        assert!(a.certify_pivot_seed(&[99], 1e-6, 1e-8).is_err());
+        assert!(a.certify_pivot_seed(&[0], 0.0, 1e-8).is_err());
+        assert!(a.certify_pivot_seed(&[0], 1e-6, -1.0).is_err());
+    }
+
+    #[test]
+    fn pivoted_leading_columns_matches_full_factorisation() {
+        let a = correlated_matrix(6, 20, 20);
+        let pqr = a.pivoted_qr().unwrap();
+        let rank = pqr.rank_at(1e-6);
+        assert_eq!(
+            a.pivoted_leading_columns(1e-6).unwrap(),
+            pqr.leading_columns(rank)
+        );
+        assert_eq!(
+            Matrix::zeros(3, 5).pivoted_leading_columns(0.5).unwrap(),
+            Vec::<usize>::new()
+        );
+        assert!(a.pivoted_leading_columns(0.0).is_err());
+        assert!(a.pivoted_leading_columns(1.0).is_err());
+        assert!(Matrix::zeros(0, 0).pivoted_leading_columns(0.5).is_err());
+    }
+
+    #[test]
+    fn chain_len_reflects_rank_deficiency() {
+        let full = correlated_matrix(4, 10, 19);
+        assert_eq!(full.pivoted_qr().unwrap().chain_len(), 4);
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let v = [1.0, 0.5, -1.0, 2.0, 0.25];
+        let rank1 = Matrix::outer(&u, &v);
+        let pqr = rank1.pivoted_qr().unwrap();
+        assert!(pqr.chain_len() >= 1);
+        assert_eq!(pqr.rank_at(1e-9), 1);
     }
 }

@@ -1,0 +1,197 @@
+//! Regression-test tier for the updatable pivoted QR: across random
+//! append/remove sequences, the incremental factorisation must agree
+//! with a fresh `pivoted_qr()` of the assembled matrix on numerical
+//! rank and on the selected leading columns, and its factor residual
+//! `‖A P − Q R‖_F` must stay below `1e-9` (relative). The fast paths
+//! certify their pivot decisions with the [`PIVOT_DRIFT_TOL`] margin
+//! and fall back to a full refactorisation when a decision is
+//! ambiguous, so these properties hold whichever path each step takes.
+
+use iupdater_linalg::qr::PIVOT_DRIFT_TOL;
+use iupdater_linalg::Matrix;
+use proptest::prelude::*;
+
+const RANK_TOL: f64 = 1e-7;
+
+/// A base matrix with a strong well-separated part and correlated
+/// trailing columns — rank-revealing structure like a fingerprint
+/// matrix, not just white noise.
+fn base_matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (3usize..=6, 6usize..=12, 0u64..1 << 16).prop_map(|(m, n, seed)| structured(m, n, seed))
+}
+
+fn structured(m: usize, n: usize, seed: u64) -> Matrix {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let basis = Matrix::from_fn(m, m, |i, j| {
+        if i == j {
+            6.0 + rng.gen::<f64>()
+        } else {
+            rng.gen::<f64>() * 2.0 - 1.0
+        }
+    });
+    let mix = Matrix::from_fn(m, n, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
+    basis.matmul(&mix).unwrap()
+}
+
+/// One step of an incremental edit sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append `count` columns; `correlated` mixes existing columns
+    /// (fast-path shaped), otherwise the columns are fresh random
+    /// directions (usually forces a refactor).
+    Append {
+        count: usize,
+        correlated: bool,
+        seed: u64,
+    },
+    /// Remove up to `count` columns starting at a fraction of the
+    /// width (clamped so at least one column survives).
+    Remove { count: usize, offset_num: usize },
+    /// Run the drift safety valve.
+    DriftCheck,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..=3, any::<bool>(), 0u64..1 << 16).prop_map(|(count, correlated, seed)| {
+            Op::Append {
+                count,
+                correlated,
+                seed,
+            }
+        }),
+        (1usize..=2, 0usize..8).prop_map(|(count, offset_num)| Op::Remove { count, offset_num }),
+        Just(Op::DriftCheck),
+    ]
+}
+
+/// Applies `op` to both the incremental factor and the plain mirror
+/// matrix, keeping them describing the same data.
+fn apply(pqr: &mut iupdater_linalg::qr::PivotedQr, mirror: &mut Matrix, op: &Op) {
+    match *op {
+        Op::Append {
+            count,
+            correlated,
+            seed,
+        } => {
+            let (m, n) = mirror.shape();
+            let new_cols = if correlated {
+                let mix = Matrix::from_fn(n, count, |i, j| {
+                    (((i + 3 * j + seed as usize) % 17) as f64 * 0.21).sin() * 0.1
+                });
+                mirror.matmul(&mix).unwrap()
+            } else {
+                structured(m, count, seed.wrapping_mul(31).wrapping_add(7))
+            };
+            *mirror = mirror.hcat(&new_cols).unwrap();
+            pqr.append_columns(&new_cols).unwrap();
+        }
+        Op::Remove { count, offset_num } => {
+            let n = mirror.cols();
+            let count = count.min(n - 1);
+            if count == 0 {
+                return;
+            }
+            let start = (n - count) * offset_num / 8;
+            let removed: Vec<usize> = (start..start + count).collect();
+            let kept: Vec<usize> = (0..n).filter(|j| !removed.contains(j)).collect();
+            *mirror = mirror.select_cols(&kept);
+            pqr.remove_columns(&removed).unwrap();
+        }
+        Op::DriftCheck => {
+            // A clean sequence should never actually drift past 1e-9;
+            // the call itself must be a cheap no-op then.
+            let refactored = pqr.refactor_if_drifted(1e-9).unwrap();
+            assert!(!refactored, "clean incremental sequence reported drift");
+        }
+    }
+}
+
+/// The core parity assertion of this tier.
+fn assert_parity(pqr: &iupdater_linalg::qr::PivotedQr, mirror: &Matrix) {
+    assert_eq!(pqr.matrix().shape(), mirror.shape());
+    assert!(
+        pqr.matrix().approx_eq(mirror, 0.0),
+        "tracked matrix diverged"
+    );
+    let fresh = mirror.pivoted_qr().unwrap();
+    let rank = fresh.rank_at(RANK_TOL);
+    assert_eq!(pqr.rank_at(RANK_TOL), rank, "rank differs from fresh");
+    assert_eq!(
+        pqr.leading_columns(rank),
+        fresh.leading_columns(rank),
+        "leading columns differ from fresh"
+    );
+    let residual =
+        (&pqr.q.matmul(&pqr.r).unwrap() - &mirror.select_cols(&pqr.perm)).frobenius_norm();
+    let scale = mirror.frobenius_norm().max(1.0);
+    assert!(
+        residual <= 1e-9 * scale,
+        "factor residual {residual} exceeds 1e-9 (scale {scale})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn incremental_matches_fresh_across_edit_sequences(
+        base in base_matrix_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..8),
+    ) {
+        let mut mirror = base.clone();
+        let mut pqr = base.pivoted_qr().unwrap();
+        for op in &ops {
+            apply(&mut pqr, &mut mirror, op);
+            assert_parity(&pqr, &mirror);
+        }
+    }
+
+    #[test]
+    fn certified_seed_reproduces_fresh_selection(base in base_matrix_strategy()) {
+        // Whenever the certificate accepts a seed, its answer must be
+        // the fresh greedy chain; the true leading set must certify on
+        // an unchanged matrix.
+        let fresh = base.pivoted_qr().unwrap();
+        let rank = fresh.rank_at(RANK_TOL);
+        prop_assume!(rank >= 1);
+        let lead = fresh.leading_columns(rank);
+        let mut seed = lead.clone();
+        seed.sort_unstable();
+        let chain = base
+            .certify_pivot_seed(&seed, RANK_TOL, PIVOT_DRIFT_TOL)
+            .unwrap();
+        prop_assert_eq!(chain, Some(lead));
+    }
+
+    #[test]
+    fn certified_seed_survives_small_drift(
+        base in base_matrix_strategy(),
+        scale in 0.0f64..1e-6,
+    ) {
+        // A tiny perturbation of every entry models day-to-day drift.
+        // The certificate may decline (margin), but when it accepts,
+        // its chain must equal the fresh selection on the drifted data.
+        let drifted = base.map_indexed(|i, j, v| {
+            v + scale * (((i * 31 + j * 7) % 13) as f64 - 6.0)
+        });
+        let fresh = drifted.pivoted_qr().unwrap();
+        let rank = fresh.rank_at(RANK_TOL);
+        prop_assume!(rank >= 1);
+        let mut seed = base.pivoted_qr().unwrap().leading_columns(
+            base.pivoted_qr().unwrap().rank_at(RANK_TOL),
+        );
+        seed.sort_unstable();
+        prop_assume!(seed.len() == rank);
+        if let Some(chain) = drifted
+            .certify_pivot_seed(&seed, RANK_TOL, PIVOT_DRIFT_TOL)
+            .unwrap()
+        {
+            prop_assert_eq!(chain, fresh.leading_columns(rank));
+        }
+    }
+}

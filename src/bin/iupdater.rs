@@ -97,8 +97,25 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             let snapshot_dir = get("snapshot-dir").map(std::path::PathBuf::from);
-            cli::cmd_batch(&envs, seed, &days, samples, snapshot_dir.as_deref())
-                .map(|r| print!("{r}"))
+            let rebase_every = match get("rebase-every") {
+                None => None,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("--rebase-every must be an integer");
+                        return ExitCode::from(2);
+                    }
+                },
+            };
+            cli::cmd_batch(
+                &envs,
+                seed,
+                &days,
+                samples,
+                snapshot_dir.as_deref(),
+                rebase_every,
+            )
+            .map(|r| print!("{r}"))
         }
         "snapshot" => {
             let Some(envs) = get("envs") else {

@@ -227,24 +227,32 @@ fn render_snapshot(service: &UpdateService) -> Result<String, CliError> {
 /// day, printing a per-deployment/per-day report. `envs` and `days`
 /// are comma-separated lists. With `snapshot_dir`, the fleet is
 /// checkpointed to `<dir>/fleet.snap` after every committed cycle, so
-/// a killed batch can be resumed with `restore`.
+/// a killed batch can be resumed with `restore`. With
+/// `rebase_every = Some(n)`, every deployment's correlation engine is
+/// re-anchored on its freshest database after every `n`-th cycle — the
+/// warm-start rebase path, numerically identical to rebuilding each
+/// engine from scratch.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] on malformed lists, pipeline failure, or an
-/// unwritable snapshot directory.
+/// Returns [`CliError`] on malformed lists, a zero `rebase_every`,
+/// pipeline failure, or an unwritable snapshot directory.
 pub fn cmd_batch(
     envs: &str,
     seed: u64,
     days: &str,
     samples: usize,
     snapshot_dir: Option<&Path>,
+    rebase_every: Option<usize>,
 ) -> Result<String, CliError> {
     let day_list = parse_day_list(days)?;
     if day_list.is_empty() {
         return Err(CliError::Usage(
             "batch requires at least one --days value".into(),
         ));
+    }
+    if rebase_every == Some(0) {
+        return Err(CliError::Usage("--rebase-every must be >= 1".into()));
     }
     let mut service = build_fleet(envs, seed)?;
     let snap_path = match snapshot_dir {
@@ -263,7 +271,7 @@ pub fn cmd_batch(
         service.len(),
         day_list.len()
     );
-    for &day in &day_list {
+    for (cycle, &day) in day_list.iter().enumerate() {
         let outcomes = service
             .run_cycle(day, samples.max(1))
             .map_err(|e| CliError::Pipeline(e.to_string()))?;
@@ -272,6 +280,18 @@ pub fn cmd_batch(
                 out,
                 "day {day:>5.1}  {:<12} refs={:<2} iters={:<3} objective={:.3e}",
                 o.name, o.reference_count, o.iterations, o.final_objective
+            );
+        }
+        if rebase_every.is_some_and(|n| (cycle + 1) % n == 0) {
+            for id in service.ids() {
+                service
+                    .rebase(id)
+                    .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            }
+            let _ = writeln!(
+                out,
+                "day {day:>5.1}  rebased {} deployment(s) (warm start)",
+                service.len()
             );
         }
         if let Some(path) = &snap_path {
@@ -349,7 +369,7 @@ pub fn usage() -> &'static str {
        iupdater localize --env <...> --db <db file> --cell J [--seed N] [--day D]\n\
        iupdater info     --db <db file>\n\
        iupdater batch    --envs <e1,e2,...> --days <d1,d2,...> [--seed N] [--samples S]\n\
-                         [--snapshot-dir DIR]\n\
+                         [--snapshot-dir DIR] [--rebase-every N]\n\
        iupdater snapshot --envs <e1,e2,...> [--days <d1,...>] [--seed N] [--samples S]\n\
        iupdater restore  --snapshot <snap file> [--days <d1,...>] [--samples S]\n\
      \n\
@@ -357,7 +377,9 @@ pub fn usage() -> &'static str {
      `batch` runs an update-service fleet: one deployment per environment,\n\
      update cycles across all deployments in parallel at each listed day;\n\
      with --snapshot-dir the fleet is checkpointed to DIR/fleet.snap after\n\
-     every cycle. `snapshot` prints a durable fleet snapshot to stdout;\n\
+     every cycle, and with --rebase-every N every engine is re-anchored on\n\
+     its freshest database after every N-th cycle (warm-start rebase).\n\
+     `snapshot` prints a durable fleet snapshot to stdout;\n\
      `restore` resumes one, runs more cycles, and prints the updated\n\
      snapshot (fleet report goes to stderr)."
 }
@@ -397,7 +419,7 @@ mod tests {
 
     #[test]
     fn batch_runs_fleet_cycles() {
-        let report = cmd_batch("office,library", 3, "5, 15", 2, None).unwrap();
+        let report = cmd_batch("office,library", 3, "5, 15", 2, None, None).unwrap();
         assert!(
             report.contains("2 deployment(s), 2 cycle day(s)"),
             "{report}"
@@ -411,21 +433,51 @@ mod tests {
     }
 
     #[test]
+    fn batch_rebases_on_schedule() {
+        let report = cmd_batch("office,library", 3, "5,15,30", 2, None, Some(2)).unwrap();
+        // Three cycles, rebase after every second: exactly one rebase
+        // line (after day 15), naming both deployments.
+        assert_eq!(
+            report
+                .matches("rebased 2 deployment(s) (warm start)")
+                .count(),
+            1,
+            "{report}"
+        );
+        assert!(report.contains("day  15.0  rebased"), "{report}");
+        assert!(report.contains("office-0: 3 cycle(s) completed"));
+        // Rebasing every cycle also works.
+        let every = cmd_batch("office", 7, "5,15", 2, None, Some(1)).unwrap();
+        assert_eq!(
+            every
+                .matches("rebased 1 deployment(s) (warm start)")
+                .count(),
+            2,
+            "{every}"
+        );
+        // A zero interval is a usage error.
+        assert!(matches!(
+            cmd_batch("office", 1, "5", 2, None, Some(0)),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn batch_rejects_bad_lists() {
         assert!(matches!(
-            cmd_batch("", 1, "5", 2, None),
+            cmd_batch("", 1, "5", 2, None, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_batch("office", 1, "abc", 2, None),
+            cmd_batch("office", 1, "abc", 2, None, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_batch("office", 1, "", 2, None),
+            cmd_batch("office", 1, "", 2, None, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_batch("mall", 1, "5", 2, None),
+            cmd_batch("mall", 1, "5", 2, None, None),
             Err(CliError::Usage(_))
         ));
     }
@@ -434,7 +486,7 @@ mod tests {
     fn snapshot_restore_roundtrip_continues_fleet() {
         // Snapshot a two-environment fleet after one cycle…
         let snap = cmd_snapshot("office,library", 7, "5", 2).unwrap();
-        assert!(snap.starts_with("iupdater-service v2"));
+        assert!(snap.starts_with("iupdater-service v3"));
         // …restore it and run a later cycle.
         let (snap2, report) = cmd_restore(&snap, "15", 2).unwrap();
         assert!(
@@ -473,7 +525,7 @@ mod tests {
             std::process::id(),
             line!()
         ));
-        let report = cmd_batch("office", 3, "5,15", 2, Some(&dir)).unwrap();
+        let report = cmd_batch("office", 3, "5,15", 2, Some(&dir), None).unwrap();
         let path = dir.join("fleet.snap");
         assert!(
             report.contains(&format!("checkpoint written: {}", path.display())),
