@@ -236,6 +236,74 @@ fn bench_solver(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_solver_scale(c: &mut Criterion) {
+    use iupdater_core::config::SweepOrder;
+    use iupdater_core::solver::reference::ReferenceSolver;
+    use iupdater_core::solver::{Solver, SolverInputs};
+    use iupdater_core::{correlation, mic};
+
+    // Engine vs reference at the 32x1536 scaled office (the ROADMAP
+    // large-deployment solver item): this is the scale where the
+    // phase-split sweeps clear MIN_PARALLEL_WORK by a wide margin, so
+    // on a multicore host the engine rows show the worker-pool win
+    // while the reference row stays single-threaded by construction.
+    // On a single-CPU host the engine matches the reference instead —
+    // both honest numbers are worth tracking. `redblack` additionally
+    // parallelises the Exact phase 2 (different trajectory, same
+    // stationary quality — see core/tests/exact_convergence.rs).
+    // The iteration budget is capped so one bench iteration stays
+    // bounded; all three variants run the same budget.
+    let big_env = iupdater_eval::ext_scale::scaled_office(4);
+    let t = Testbed::new(big_env, 2);
+    let day0 = t.fingerprint_matrix(0.0, 1);
+    let per = t.deployment().locations_per_link();
+    let mic_sel = mic::extract_mic(&day0, Default::default(), 0.02).unwrap();
+    let z = correlation::correlation_matrix(
+        &mic_sel.vectors,
+        &day0,
+        correlation::CorrelationMethod::Lrr,
+    )
+    .unwrap();
+    let x_r = t.measure_columns(&mic_sel.locations, 45.0, 1);
+    let p = correlation::predict(&x_r, &z).unwrap();
+    let x_b_full = t.fingerprint_matrix(45.0, 1);
+    let b = iupdater_core::classify::CellClassification::from_testbed(&t).index_matrix();
+    let x_b = b.hadamard(&x_b_full).unwrap();
+    let inputs = SolverInputs {
+        x_b,
+        b,
+        p: Some(p),
+        per,
+        warm_start: Some(day0),
+    };
+    let cfg = UpdaterConfig {
+        max_iter: 4,
+        ..UpdaterConfig::default()
+    };
+
+    let mut group = c.benchmark_group("solver_32x1536");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("engine_exact", |bch| {
+        let solver = Solver::new(inputs.clone(), cfg.clone()).unwrap();
+        bch.iter(|| black_box(&solver).solve().unwrap())
+    });
+    group.bench_function("engine_exact_redblack", |bch| {
+        let rb = UpdaterConfig {
+            sweep_order: SweepOrder::RedBlack,
+            ..cfg.clone()
+        };
+        let solver = Solver::new(inputs.clone(), rb).unwrap();
+        bch.iter(|| black_box(&solver).solve().unwrap())
+    });
+    group.bench_function("reference_exact", |bch| {
+        let solver = ReferenceSolver::new(inputs.clone(), cfg.clone()).unwrap();
+        bch.iter(|| black_box(&solver).solve().unwrap())
+    });
+    group.finish();
+}
+
 fn bench_warm_start(c: &mut Criterion) {
     use iupdater_core::persist;
     use iupdater_core::service::UpdateService;
@@ -393,6 +461,7 @@ criterion_group!(
     bench_simulator,
     bench_extensions,
     bench_solver,
+    bench_solver_scale,
     bench_warm_start,
     bench_incremental_qr
 );

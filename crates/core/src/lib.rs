@@ -34,11 +34,18 @@
 //!    Eq. 18 is a [`solver::terms::PenaltyTerm`] implementation; the
 //!    ALS engine composes them and runs *phase-split* sweeps — the
 //!    per-column/per-row systems are assembled and factored in
-//!    parallel, the Gauss–Seidel cross terms (Exact coupling) keep
-//!    their original sequential order — making parallel solves
-//!    bit-identical to the retired monolith (`solver::reference`,
-//!    kept as the golden-parity oracle; [`self_augmented`] is the
-//!    compatibility alias).
+//!    parallel, and the Exact-coupling cross terms run in a
+//!    configurable [`config::SweepOrder`]: the default Gauss–Seidel
+//!    order keeps the original sequential walk, making parallel
+//!    solves bit-identical to the retired monolith
+//!    (`solver::reference`, kept as the golden-parity oracle;
+//!    [`self_augmented`] is the compatibility alias), while the
+//!    opt-in red-black order parallelises phase 2 as checkerboard
+//!    half-sweeps at the cost of a different — not worse — iteration
+//!    trajectory (its own tier, `tests/exact_convergence.rs`, proves
+//!    both orders reach stationarity on the golden configs). Sweeps
+//!    execute on the rayon facade's persistent, work-stealing worker
+//!    pool and are deterministic at any worker count.
 //! 3. [`service`] batches many deployments behind one API:
 //!    [`service::UpdateService`] runs update cycles across its fleet
 //!    in parallel and owns each deployment's live database.
@@ -77,6 +84,12 @@
 //!    rebuilds engines directly from the *warm-start basis* (reference
 //!    locations + full-precision `Z`) recorded in v3 service snapshots
 //!    ([`persist`]), skipping MIC and LRR entirely.
+//!
+//! The system-wide map — the three layers, the parallelism model, the
+//! drift-tolerance fallback rule, the parity-tier test strategy and
+//! the v1/v2/v3 snapshot lineage with upgrade paths — is written down
+//! in `ARCHITECTURE.md` at the repository root; change it when you
+//! change one of those invariants.
 //!
 //! # Quickstart
 //!
@@ -141,7 +154,9 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
-    pub use crate::config::{CouplingMode, LocalizerConfig, ScalingMode, UpdaterConfig};
+    pub use crate::config::{
+        CouplingMode, LocalizerConfig, ScalingMode, SweepOrder, UpdaterConfig,
+    };
     pub use crate::fingerprint::FingerprintMatrix;
     pub use crate::localize::{Localizer, LocationEstimate};
     pub use crate::reconstruct::Updater;

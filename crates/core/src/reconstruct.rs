@@ -119,6 +119,27 @@ impl Updater {
     /// [`CoreError::DimensionMismatch`] when `new_prior`'s geometry
     /// differs from `prev`'s; otherwise the same errors as
     /// [`Updater::new`].
+    ///
+    /// # Examples
+    ///
+    /// Warm-starting from the previous engine selects exactly what a
+    /// cold construction on the new prior would:
+    ///
+    /// ```
+    /// use iupdater_core::prelude::*;
+    /// use iupdater_rfsim::{Environment, Testbed};
+    ///
+    /// let testbed = Testbed::new(Environment::office(), 7);
+    /// let day0 = FingerprintMatrix::survey(&testbed, 0.0, 3);
+    /// let engine = Updater::new(day0, UpdaterConfig::default())?;
+    /// let fresh = engine.update_from_testbed(&testbed, 45.0, 2)?;
+    ///
+    /// let warm = Updater::warm_start(&engine, fresh.clone())?;
+    /// let cold = Updater::new(fresh, engine.config().clone())?;
+    /// assert_eq!(warm.reference_locations(), cold.reference_locations());
+    /// assert!(warm.correlation().approx_eq(cold.correlation(), 0.0));
+    /// # Ok::<(), iupdater_core::CoreError>(())
+    /// ```
     pub fn warm_start(prev: &Updater, new_prior: FingerprintMatrix) -> Result<Self> {
         if new_prior.num_links() != prev.prior.num_links()
             || new_prior.num_locations() != prev.prior.num_locations()
@@ -175,6 +196,31 @@ impl Updater {
     ///
     /// [`CoreError::InvalidArgument`] for a structurally inconsistent
     /// basis; propagates config validation errors.
+    ///
+    /// # Examples
+    ///
+    /// Rebuilding from an engine's own recorded basis skips MIC and
+    /// LRR and reproduces the engine exactly (what v3-snapshot restore
+    /// does per deployment):
+    ///
+    /// ```
+    /// use iupdater_core::prelude::*;
+    /// use iupdater_rfsim::{Environment, Testbed};
+    ///
+    /// let testbed = Testbed::new(Environment::office(), 7);
+    /// let day0 = FingerprintMatrix::survey(&testbed, 0.0, 3);
+    /// let engine = Updater::new(day0, UpdaterConfig::default())?;
+    ///
+    /// let rebuilt = Updater::from_basis(
+    ///     engine.prior().clone(),
+    ///     engine.config().clone(),
+    ///     engine.reference_locations().to_vec(),
+    ///     engine.correlation().clone(),
+    ///     engine.seed_locations().to_vec(),
+    /// )?;
+    /// assert_eq!(rebuilt.reference_locations(), engine.reference_locations());
+    /// # Ok::<(), iupdater_core::CoreError>(())
+    /// ```
     pub fn from_basis(
         prior: FingerprintMatrix,
         config: UpdaterConfig,

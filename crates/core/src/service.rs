@@ -698,6 +698,31 @@ impl UpdateService {
 
     /// Captures the whole fleet as a [`ServiceSnapshot`] (pending
     /// ingest queues are transient and not included — see module docs).
+    ///
+    /// # Examples
+    ///
+    /// Checkpoint a fleet and serialise it with
+    /// [`crate::persist::write_service`]:
+    ///
+    /// ```
+    /// use iupdater_core::prelude::*;
+    /// use iupdater_core::persist;
+    /// use iupdater_rfsim::{Environment, Testbed};
+    ///
+    /// let mut fleet = UpdateService::new();
+    /// fleet.register(
+    ///     "office",
+    ///     Testbed::new(Environment::office(), 7),
+    ///     UpdaterConfig::default(),
+    ///     3,
+    /// )?;
+    /// fleet.run_cycle(5.0, 2)?;
+    ///
+    /// let mut bytes = Vec::new();
+    /// persist::write_service(&fleet.snapshot(), &mut bytes)?;
+    /// assert!(bytes.starts_with(b"iupdater-service v3"));
+    /// # Ok::<(), iupdater_core::CoreError>(())
+    /// ```
     pub fn snapshot(&self) -> ServiceSnapshot {
         ServiceSnapshot {
             deployments: self
@@ -732,6 +757,33 @@ impl UpdateService {
     /// reference set disagrees with the engine rebuilt from `prior`,
     /// its `last_update_day` is non-finite, or engine construction
     /// fails.
+    ///
+    /// # Examples
+    ///
+    /// A restored fleet continues **bit-identically** to the one that
+    /// was snapshotted:
+    ///
+    /// ```
+    /// use iupdater_core::prelude::*;
+    /// use iupdater_rfsim::{Environment, Testbed};
+    ///
+    /// let mut fleet = UpdateService::new();
+    /// fleet.register(
+    ///     "office",
+    ///     Testbed::new(Environment::office(), 7),
+    ///     UpdaterConfig::default(),
+    ///     3,
+    /// )?;
+    /// fleet.run_cycle(5.0, 2)?;
+    ///
+    /// let snap = fleet.snapshot();
+    /// let mut resumed = UpdateService::restore(&snap)?;
+    ///
+    /// let original = fleet.run_cycle(15.0, 2)?;
+    /// let restored = resumed.run_cycle(15.0, 2)?;
+    /// assert_eq!(original[0].final_objective, restored[0].final_objective);
+    /// # Ok::<(), iupdater_core::CoreError>(())
+    /// ```
     pub fn restore(snapshot: &ServiceSnapshot) -> Result<UpdateService> {
         let mut deployments = Vec::with_capacity(snapshot.deployments.len());
         for (idx, s) in snapshot.deployments.iter().enumerate() {
@@ -866,6 +918,33 @@ impl UpdateService {
     /// [`CoreError::InvalidArgument`] for an unknown id or for a
     /// reference-set-changing rebase with a non-empty ingest queue;
     /// otherwise propagates engine construction errors.
+    ///
+    /// # Examples
+    ///
+    /// Re-anchor a deployment's engine on its freshest database after
+    /// a cycle (the warm-start path; identical numbers, lower cost):
+    ///
+    /// ```
+    /// use iupdater_core::prelude::*;
+    /// use iupdater_rfsim::{Environment, Testbed};
+    ///
+    /// let mut fleet = UpdateService::new();
+    /// let id = fleet.register(
+    ///     "office",
+    ///     Testbed::new(Environment::office(), 7),
+    ///     UpdaterConfig::default(),
+    ///     3,
+    /// )?;
+    /// fleet.run_cycle(5.0, 2)?;
+    ///
+    /// fleet.rebase(id)?;
+    /// // The engine is now anchored on the day-5 reconstruction.
+    /// assert_eq!(
+    ///     fleet.updater(id)?.prior().matrix(),
+    ///     fleet.fingerprint(id)?.matrix(),
+    /// );
+    /// # Ok::<(), iupdater_core::CoreError>(())
+    /// ```
     pub fn rebase(&mut self, id: DeploymentId) -> Result<()> {
         let dep = self
             .deployments

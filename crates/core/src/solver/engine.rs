@@ -15,13 +15,41 @@
 //!    `O(M r² + r³)` bulk of the sweep, embarrassingly parallel.
 //! 2. **Cross + solve**: add the cross terms and back-substitute. With
 //!    no active cross terms (paper-literal mode, or constraint 2 off)
-//!    this phase is also parallel; in Exact mode it walks columns in
-//!    the original ascending order, reading the partially-updated
-//!    factor exactly like the sequential monolith did (Gauss–Seidel).
+//!    this phase is also parallel; in Exact mode its order is
+//!    configurable ([`SweepOrder`]):
+//!    - `GaussSeidel` (default) walks columns in the original
+//!      ascending order, reading the partially-updated factor exactly
+//!      like the sequential monolith did;
+//!    - `RedBlack` checkerboard-colours the (link, cell) grid by
+//!      `(link + cell) % 2` and runs two *parallel* half-sweeps, each
+//!      half reading the factor snapshot from the start of that half.
+//!      **Colouring invariant:** every distance-1 coupling — along-link
+//!      continuity neighbours via `X_D G`, adjacent links via `H X_D`
+//!      — connects opposite colours, so those reads are as fresh as
+//!      Gauss–Seidel's; only the distance-2 continuity interactions
+//!      inside a colour (cells `u` and `u ± 2` share the `G` column of
+//!      the cell between them) read start-of-half values Jacobi-style.
+//!      Within a half-sweep every update is a pure function of the
+//!      snapshot, so the result is deterministic and identical at any
+//!      worker count — but the *trajectory* differs from the
+//!      historical order, which is why `RedBlack` is opt-in and has
+//!      its own convergence tier (`core/tests/exact_convergence.rs`).
 //!
-//! Both phases preserve the historical per-element accumulation order,
-//! so the refactored engine reproduces `solver::reference` bit-for-bit
-//! — the golden parity tests assert ≤ 1e-9 end to end.
+//! Under the default order both phases preserve the historical
+//! per-element accumulation order, so the refactored engine reproduces
+//! `solver::reference` bit-for-bit — the golden parity tests assert
+//! ≤ 1e-9 end to end.
+//!
+//! # When sweeps fan out
+//!
+//! Parallel sweeps run on the rayon shim's persistent worker pool.
+//! A sweep of `count` systems fans out when `count * r²` (the dominant
+//! assembly cost) reaches [`MIN_PARALLEL_WORK`] and the pool has more
+//! than one thread; below that the fused serial path wins. The pool
+//! width is cached at engine construction ([`AlsEngine::new`]), so the
+//! serial/parallel decision is stable for the life of a solver and
+//! costs no per-sweep `current_num_threads()` query. Both paths
+//! produce bit-identical results — the threshold gates cost only.
 
 use iupdater_linalg::solve::Lu;
 use iupdater_linalg::Matrix;
@@ -29,7 +57,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use crate::config::{ScalingMode, UpdaterConfig};
+use crate::config::{ScalingMode, SweepOrder, UpdaterConfig};
 use crate::solver::terms::{
     ContinuityTerm, DataFitTerm, PenaltyTerm, ReferenceTerm, SimilarityTerm, SweepCache,
     TermContext,
@@ -44,11 +72,16 @@ struct ColumnPlan {
 }
 
 /// Minimum sweep size, measured as `systems x r²` (the dominant
-/// assembly cost), before a sweep fans out to the worker pool. The
-/// rayon facade spawns scoped threads per call, so below this the
-/// spawn overhead exceeds the sweep itself and the fused serial path
-/// wins (results are identical either way — see the parity tests).
-const MIN_PARALLEL_WORK: usize = 16_384;
+/// assembly cost), before a sweep fans out to the worker pool.
+/// Dispatching to the persistent pool costs a few microseconds (a
+/// mutex/condvar wake plus chunk bookkeeping — it was ~100 µs of
+/// scoped-thread spawns before the pool existed, behind the historical
+/// threshold of 16 384), so only genuinely tiny sweeps — where even
+/// microseconds exceed the arithmetic — stay on the fused serial path.
+/// At this threshold the paper-size office (96 columns × r = 8 → 6144)
+/// fans its column sweeps out while its 8-row sweeps stay fused.
+/// Results are identical either way — see the parity tests.
+const MIN_PARALLEL_WORK: usize = 4_096;
 
 /// Resets a reusable normal-equation workspace to `A = λI`, `rhs = 0`
 /// (the exact values `Matrix::identity(r).scale(λ)` produces).
@@ -68,13 +101,45 @@ pub(crate) struct AlsEngine {
     pub(crate) g: Option<Matrix>,
     pub(crate) h: Option<Matrix>,
     pub(crate) rank: usize,
+    /// Worker-pool width, cached at construction: sweeps consult it on
+    /// every serial/parallel decision and must not pay (or observe) a
+    /// per-sweep `rayon::current_num_threads()` query. Tests can pin
+    /// it process-wide via `rayon::set_num_threads_for_tests` *before*
+    /// building the solver, which is how single-CPU CI drives the
+    /// parallel paths deterministically.
+    threads: usize,
 }
 
 impl AlsEngine {
+    /// Binds validated inputs to the engine, caching the pool width.
+    pub(crate) fn new(
+        inputs: SolverInputs,
+        cfg: UpdaterConfig,
+        g: Option<Matrix>,
+        h: Option<Matrix>,
+        rank: usize,
+    ) -> Self {
+        AlsEngine {
+            inputs,
+            cfg,
+            g,
+            h,
+            rank,
+            threads: rayon::current_num_threads(),
+        }
+    }
+
     /// Whether a sweep of `count` systems should take the fused serial
     /// path instead of the phase-split parallel one.
     fn serial_sweep(&self, count: usize) -> bool {
-        rayon::current_num_threads() == 1 || count * self.rank * self.rank < MIN_PARALLEL_WORK
+        self.threads == 1 || count * self.rank * self.rank < MIN_PARALLEL_WORK
+    }
+
+    /// Whether phase 2 runs as red-black half-sweeps: only under Exact
+    /// coupling with active cross terms is phase 2 order-sensitive at
+    /// all, and only then does the opt-in matter.
+    fn red_black(&self, has_cross: bool) -> bool {
+        has_cross && self.cfg.sweep_order == SweepOrder::RedBlack
     }
 
     fn ctx(&self) -> TermContext<'_> {
@@ -272,10 +337,14 @@ impl AlsEngine {
             .filter(|t| t.active() && t.has_column_cross())
             .collect();
 
-        if self.serial_sweep(n) {
+        let red_black = self.red_black(!cross_terms.is_empty());
+        if !red_black && self.serial_sweep(n) {
             // Fused serial sweep: assemble, cross, solve and write per
             // column in one pass — no plan materialisation, same
-            // numbers as the phase-split path.
+            // numbers as the phase-split path. (Red-black sweeps never
+            // take it: its interleaved writes are inherently
+            // Gauss–Seidel, and red-black results must not depend on
+            // the work-size threshold or the machine width.)
             let mut a = Matrix::zeros(r, r);
             let mut rhs = vec![0.0_f64; r];
             for j in 0..n {
@@ -311,6 +380,32 @@ impl AlsEngine {
                 .collect();
             for (j, theta) in rows.iter().enumerate() {
                 rm.set_row(j, theta);
+            }
+        } else if red_black {
+            // Red-black half-sweeps over the (link, cell) checkerboard:
+            // column j is cell (j / per, j % per). Each half computes
+            // every update of its colour in parallel from the snapshot
+            // `R` held fixed during the half, then writes — see the
+            // module docs for the colouring invariant.
+            let per = self.inputs.per;
+            for colour in 0..2 {
+                let indices: Vec<usize> = (0..n)
+                    .filter(|j| (j / per + j % per) % 2 == colour)
+                    .collect();
+                let snapshot: &Matrix = rm;
+                let thetas: Vec<Vec<f64>> = indices
+                    .par_iter()
+                    .map(|&j| {
+                        let mut rhs = plans[j].rhs.clone();
+                        for term in &cross_terms {
+                            term.column_cross(&ctx, j, l, snapshot, &mut rhs);
+                        }
+                        plans[j].lu.solve(&rhs)
+                    })
+                    .collect();
+                for (&j, theta) in indices.iter().zip(&thetas) {
+                    rm.set_row(j, theta);
+                }
             }
         } else {
             // Gauss–Seidel: original ascending order, reading the
@@ -350,7 +445,8 @@ impl AlsEngine {
             .filter(|t| t.active() && t.has_row_cross())
             .collect();
 
-        if self.serial_sweep(m) {
+        let red_black = self.red_black(!cross_terms.is_empty());
+        if !red_black && self.serial_sweep(m) {
             let mut a = Matrix::zeros(r, r);
             let mut rhs = vec![0.0_f64; r];
             for i in 0..m {
@@ -385,6 +481,28 @@ impl AlsEngine {
                 .collect();
             for (i, ell) in rows.iter().enumerate() {
                 l.set_row(i, ell);
+            }
+        } else if red_black {
+            // Red-black half-sweeps down the link axis: row cross
+            // terms only couple adjacent links (`H` is bidiagonal), so
+            // parity colouring is a *proper* 2-colouring here — every
+            // cross read targets the opposite colour.
+            for colour in 0..2 {
+                let indices: Vec<usize> = (0..m).filter(|i| i % 2 == colour).collect();
+                let snapshot: &Matrix = l;
+                let ells: Vec<Vec<f64>> = indices
+                    .par_iter()
+                    .map(|&i| {
+                        let mut rhs = plans[i].rhs.clone();
+                        for term in &cross_terms {
+                            term.row_cross(&ctx, i, snapshot, rm, &mut rhs);
+                        }
+                        plans[i].lu.solve(&rhs)
+                    })
+                    .collect();
+                for (&i, ell) in indices.iter().zip(&ells) {
+                    l.set_row(i, ell);
+                }
             }
         } else {
             for (i, plan) in plans.into_iter().enumerate() {

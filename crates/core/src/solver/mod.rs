@@ -190,13 +190,7 @@ impl Solver {
     pub fn new(inputs: SolverInputs, cfg: UpdaterConfig) -> Result<Self> {
         let (g, h, rank) = validate(&inputs, &cfg)?;
         Ok(Solver {
-            engine: AlsEngine {
-                inputs,
-                cfg,
-                g,
-                h,
-                rank,
-            },
+            engine: AlsEngine::new(inputs, cfg, g, h, rank),
         })
     }
 

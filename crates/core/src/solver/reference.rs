@@ -7,6 +7,12 @@
 //! implementation's objective trajectory and reconstruction to
 //! <= 1e-9 on every coupling / scaling / warm-start configuration.
 //! Not part of the supported API.
+//!
+//! This implementation *is* the Gauss–Seidel sweep-order
+//! specification: it always walks updates in ascending order and
+//! deliberately ignores `UpdaterConfig::sweep_order`. The red-black
+//! order has no monolith to be parity-pinned against — its contract is
+//! convergence (`tests/exact_convergence.rs`), not bit-equality.
 
 use iupdater_linalg::Matrix;
 use rand::rngs::StdRng;

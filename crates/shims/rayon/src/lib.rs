@@ -1,7 +1,7 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! This workspace builds hermetically, so it ships a minimal
-//! API-compatible subset of rayon implemented on `std::thread::scope`:
+//! API-compatible subset of rayon:
 //!
 //! - `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` and
 //!   `.for_each(f)` over `Range<usize>`,
@@ -9,13 +9,57 @@
 //! - [`join`] for two-way fork-join,
 //! - [`current_num_threads`].
 //!
-//! Work is split into one contiguous block per worker thread (results
-//! keep their input order). There is no work stealing and no global
-//! pool — threads are scoped per call — which is the right trade-off
-//! for this workspace's coarse-grained, evenly-sized batches. Swapping
+//! # The parallelism model
+//!
+//! Parallel calls execute on a **persistent worker pool** (like the
+//! real rayon's global pool): `current_num_threads() - 1` long-lived
+//! worker threads are spawned lazily on the first parallel call and
+//! then reused, so a parallel call costs a mutex/condvar wake instead
+//! of an OS thread spawn. That removes the per-call overhead that
+//! previously forced callers (the solver engine's `MIN_PARALLEL_WORK`
+//! threshold) to keep moderate sweeps serial.
+//!
+//! Work is split into **chunks finer than one block per worker**
+//! (see [`scheduling`]); idle workers claim the next unclaimed chunk
+//! from a shared cursor until none remain. Skewed workloads — items
+//! with very different costs, e.g. mixed deployment sizes inside one
+//! `UpdateService::run_cycle` — therefore balance across workers
+//! instead of waiting on the most expensive contiguous block. Results
+//! are reassembled **in input order**, so every `collect` returns the
+//! same `Vec` a serial loop would produce, at any worker count.
+//!
+//! Two properties callers rely on:
+//!
+//! - **Determinism**: chunk *claiming* is racy by design, but each
+//!   chunk's output is written back by chunk index, so the assembled
+//!   result is identical for 1, 2 or N workers. (Side-effecting
+//!   `for_each` closures still observe arbitrary execution order, as
+//!   with the real rayon.)
+//! - **Nesting is deadlock-free**: the thread that submits a job also
+//!   participates in executing it, so a nested parallel call issued
+//!   from inside a worker completes even when every other worker is
+//!   busy.
+//!
+//! A closure panic is caught on the executing worker, the remaining
+//! chunks are abandoned, and the panic resumes on the submitting
+//! thread once in-flight chunks drain.
+//!
+//! The pool size is `RAYON_NUM_THREADS` if set, else the machine's
+//! available parallelism, read **once** and cached. Tests may pin a
+//! different width with the `#[doc(hidden)]`
+//! [`set_num_threads_for_tests`] override (useful to exercise the
+//! parallel code paths deterministically on single-CPU CI). Swapping
 //! in the real rayon later requires no call-site changes.
 
+#![warn(missing_docs)]
+
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Test-only pool-width override; 0 means "not overridden".
+static TEST_THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Number of worker threads used for parallel execution (respects
 /// `RAYON_NUM_THREADS`, else the machine's available parallelism).
@@ -23,7 +67,11 @@ use std::num::NonZeroUsize;
 /// does not react to environment changes after first use, and hot
 /// loops avoid repeated `getenv` calls.
 pub fn current_num_threads() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let o = TEST_THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
         if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
             if let Ok(n) = v.parse::<usize>() {
@@ -38,7 +86,24 @@ pub fn current_num_threads() -> usize {
     })
 }
 
+/// Pins [`current_num_threads`] to `n` for the rest of the process
+/// (pass 0 to remove the pin). Unlike `RAYON_NUM_THREADS`, this works
+/// after threads exist and without mutating the process environment
+/// (which is UB in threaded programs), so single-CPU CI can force the
+/// parallel code paths. The pool grows to the largest width ever
+/// requested and never shrinks; results are identical at any width.
+///
+/// Test-only: not part of the real rayon API. Prefer setting it once
+/// per test binary — it is process-global state.
+#[doc(hidden)]
+pub fn set_num_threads_for_tests(n: usize) {
+    TEST_THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
 /// Runs `a` and `b` potentially in parallel, returning both results.
+///
+/// Rare in this workspace, so it takes the simple route (one scoped
+/// spawn) rather than going through the worker pool.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -56,53 +121,290 @@ where
     })
 }
 
-/// Splits `len` items into at most `threads` contiguous `(start, end)`
-/// blocks of near-equal size.
-fn blocks(len: usize, threads: usize) -> Vec<(usize, usize)> {
-    let threads = threads.clamp(1, len.max(1));
-    let base = len / threads;
-    let extra = len % threads;
-    let mut out = Vec::with_capacity(threads);
-    let mut start = 0;
-    for t in 0..threads {
-        let size = base + usize::from(t < extra);
-        out.push((start, start + size));
-        start += size;
-    }
-    out
+// ---------------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a job's chunk loop. Workers call it once; it
+/// returns when no unclaimed chunks remain.
+///
+/// The pointee lives on the submitting thread's stack. Validity is
+/// guaranteed by the submission protocol: [`Pool::run`] does not
+/// return until (a) the job is withdrawn from the slot, so no new
+/// worker can enter it, and (b) every worker that entered has left.
+struct TaskPtr(*const (dyn Fn() + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and the
+// submission protocol above bounds its lifetime around all uses.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// Per-job bookkeeping: how many workers entered / left the job.
+struct JobTracker {
+    task: TaskPtr,
+    /// `(entered, finished)`; `entered` only increments while the pool
+    /// mutex is held, which is what makes the close-then-drain
+    /// protocol in [`Pool::run`] race-free.
+    counts: Mutex<(usize, usize)>,
+    done: Condvar,
 }
 
-/// Runs `f(i)` for every index in `[0, len)` across the worker threads,
-/// collecting results in input order.
-fn run_indexed<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+/// Pool state behind the mutex: the published job (if any) with its
+/// generation, and how many workers were spawned so far.
+struct PoolState {
+    generation: u64,
+    job: Option<(u64, Arc<JobTracker>)>,
+    spawned: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Wakes parked workers when a job is published.
+    work: Condvar,
+}
+
+/// The process-wide persistent worker pool.
+struct Pool {
+    shared: Arc<PoolShared>,
+}
+
+impl Pool {
+    /// The global pool, created on first parallel call.
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    generation: 0,
+                    job: None,
+                    spawned: 0,
+                }),
+                work: Condvar::new(),
+            }),
+        })
+    }
+
+    /// Grows the worker set to `current_num_threads() - 1` threads
+    /// (never shrinks). Called with the state lock held.
+    fn ensure_workers(&self, st: &mut PoolState) {
+        let target = current_num_threads().saturating_sub(1);
+        while st.spawned < target {
+            let shared = Arc::clone(&self.shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("rayon-shim-worker-{}", st.spawned))
+                .spawn(move || worker_loop(&shared));
+            if spawned.is_err() {
+                // Out of threads: run with what we have (the submitter
+                // always participates, so jobs still complete).
+                break;
+            }
+            st.spawned += 1;
+        }
+    }
+
+    /// Publishes `task` to the pool, participates in executing it, and
+    /// returns once every participant has left the job. `task` must be
+    /// a chunk loop: callable concurrently from many threads, each
+    /// call returning when no work remains.
+    fn run(&self, task: &(dyn Fn() + Sync)) {
+        let tracker = Arc::new(JobTracker {
+            // SAFETY: fat-pointer transmute only erases the lifetime;
+            // see `TaskPtr` for why the pointee outlives all uses.
+            task: TaskPtr(unsafe {
+                std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
+                    task,
+                )
+            }),
+            counts: Mutex::new((0, 0)),
+            done: Condvar::new(),
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.generation += 1;
+            st.job = Some((st.generation, Arc::clone(&tracker)));
+            self.ensure_workers(&mut st);
+        }
+        self.shared.work.notify_all();
+
+        // Participate. `task` is expected to be panic-safe (the chunk
+        // schedulers below catch per chunk), but stay robust anyway.
+        let participation = catch_unwind(AssertUnwindSafe(task));
+
+        // Withdraw the job (unless a nested/concurrent submission
+        // already replaced it) so no new worker can enter…
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            if let Some((_, t)) = &st.job {
+                if Arc::ptr_eq(t, &tracker) {
+                    st.job = None;
+                }
+            }
+        }
+        // …then drain the workers that did enter. After this loop no
+        // thread holds the task pointer, so the borrow may end.
+        let mut counts = tracker.counts.lock().expect("job mutex poisoned");
+        while counts.1 < counts.0 {
+            counts = tracker.done.wait(counts).expect("job mutex poisoned");
+        }
+        drop(counts);
+        if let Err(p) = participation {
+            resume_unwind(p);
+        }
+    }
+}
+
+/// What every pool worker runs forever: wait for an unseen job, enter
+/// it, execute its chunk loop, mark it left, repeat.
+fn worker_loop(shared: &PoolShared) {
+    let mut last_seen = 0u64;
+    let mut st = shared.state.lock().expect("pool mutex poisoned");
+    loop {
+        let entered = match &st.job {
+            Some((generation, tracker)) if *generation != last_seen => {
+                last_seen = *generation;
+                let tracker = Arc::clone(tracker);
+                tracker.counts.lock().expect("job mutex poisoned").0 += 1;
+                Some(tracker)
+            }
+            _ => None,
+        };
+        match entered {
+            Some(tracker) => {
+                drop(st);
+                // SAFETY: entering happened under the pool mutex while
+                // the job was still published, so `Pool::run` is
+                // drain-waiting on us and the pointee is alive.
+                let task = unsafe { &*tracker.task.0 };
+                // Panics are already caught per chunk; a panic that
+                // still reaches here must not take down the worker.
+                let _ = catch_unwind(AssertUnwindSafe(task));
+                let mut counts = tracker.counts.lock().expect("job mutex poisoned");
+                counts.1 += 1;
+                tracker.done.notify_all();
+                drop(counts);
+                st = shared.state.lock().expect("pool mutex poisoned");
+            }
+            None => {
+                st = shared.work.wait(st).expect("pool mutex poisoned");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk schedulers.
+// ---------------------------------------------------------------------------
+
+/// The two chunk schedulers the pool can drive, exposed for the
+/// scheduling property tests. Not part of the real rayon API.
+#[doc(hidden)]
+pub mod scheduling {
+    use super::*;
+
+    /// Chunks per worker used by the stealing scheduler: fine enough
+    /// that a skewed chunk can be compensated by others, coarse enough
+    /// that the per-chunk locking stays negligible.
+    pub const CHUNKS_PER_WORKER: usize = 4;
+
+    /// Splits `len` items into at most `pieces` contiguous
+    /// `(start, end)` blocks of near-equal size, in index order.
+    pub fn split_even(len: usize, pieces: usize) -> Vec<(usize, usize)> {
+        let pieces = pieces.clamp(1, len.max(1));
+        let base = len / pieces;
+        let extra = len % pieces;
+        let mut out = Vec::with_capacity(pieces);
+        let mut start = 0;
+        for t in 0..pieces {
+            let size = base + usize::from(t < extra);
+            out.push((start, start + size));
+            start += size;
+        }
+        out
+    }
+
+    /// Runs `f(i)` for every `i` in `[0, len)` over the given chunk
+    /// table on the persistent pool: workers claim the next unclaimed
+    /// chunk from a shared cursor until none remain. Results come back
+    /// in input order regardless of claim order or worker count.
+    fn run_chunked<T, F>(len: usize, chunks: &[(usize, usize)], f: &F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let cursor = AtomicUsize::new(0);
+        let parts: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let task = || loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= chunks.len() {
+                break;
+            }
+            let (lo, hi) = chunks[c];
+            match catch_unwind(AssertUnwindSafe(|| (lo..hi).map(f).collect::<Vec<T>>())) {
+                Ok(part) => parts.lock().expect("parts mutex poisoned").push((c, part)),
+                Err(p) => {
+                    *panic_slot.lock().expect("panic mutex poisoned") = Some(p);
+                    // Abandon the remaining chunks.
+                    cursor.store(chunks.len(), Ordering::Relaxed);
+                }
+            }
+        };
+        Pool::global().run(&task);
+        if let Some(p) = panic_slot.into_inner().expect("panic mutex poisoned") {
+            resume_unwind(p);
+        }
+        let mut parts = parts.into_inner().expect("parts mutex poisoned");
+        parts.sort_unstable_by_key(|&(c, _)| c);
+        let mut out = Vec::with_capacity(len);
+        for (_, mut part) in parts {
+            out.append(&mut part);
+        }
+        out
+    }
+
+    /// Work-stealing schedule: `threads * CHUNKS_PER_WORKER` chunks
+    /// claimed dynamically. This is what the `par_iter` adapters use.
+    pub fn run_stealing<T, F>(len: usize, threads: usize, f: &F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let chunks = split_even(len, threads.saturating_mul(CHUNKS_PER_WORKER));
+        run_chunked(len, &chunks, f)
+    }
+
+    /// Historical contiguous-block schedule: exactly one near-equal
+    /// block per worker, still claimed from the shared cursor. Kept as
+    /// the reference the scheduling property tests compare against
+    /// (and to measure stealing's benefit on skewed loads).
+    pub fn run_contiguous<T, F>(len: usize, threads: usize, f: &F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let chunks = split_even(len, threads);
+        run_chunked(len, &chunks, f)
+    }
+}
+
+/// Runs `f(i)` for every index in `[0, len)`, collecting results in
+/// input order — serially below the parallel threshold, else on the
+/// persistent pool with the stealing scheduler.
+fn run_indexed<T, F>(len: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if len == 0 {
-        return Vec::new();
-    }
-    if threads <= 1 || len == 1 {
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 {
         return (0..len).map(f).collect();
     }
-    let blocks = blocks(len, threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(blocks.len());
-    let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = blocks
-            .iter()
-            .map(|&(lo, hi)| s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()))
-            .collect();
-        for h in handles {
-            chunks.push(h.join().expect("rayon-shim worker panicked"));
-        }
-    });
-    let mut out = Vec::with_capacity(len);
-    for c in chunks {
-        out.extend(c);
-    }
-    out
+    scheduling::run_stealing(len, threads, &f)
 }
+
+// ---------------------------------------------------------------------------
+// The `par_iter` API subset.
+// ---------------------------------------------------------------------------
 
 /// Conversion into a parallel iterator (subset of rayon's trait).
 pub trait IntoParallelIterator {
@@ -156,13 +458,13 @@ impl ParRange {
         ParRangeMap { range: self, f }
     }
 
-    /// Runs `f` on every index across the worker threads.
+    /// Runs `f` on every index across the worker pool.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(usize) + Sync,
     {
         let start = self.start;
-        run_indexed(self.len(), current_num_threads(), |i| f(start + i));
+        run_indexed(self.len(), |i| f(start + i));
     }
 }
 
@@ -182,7 +484,7 @@ impl<F> ParRangeMap<F> {
     {
         let start = self.range.start;
         let f = self.f;
-        run_indexed(self.range.len(), current_num_threads(), |i| f(start + i)).into()
+        run_indexed(self.range.len(), |i| f(start + i)).into()
     }
 }
 
@@ -220,13 +522,13 @@ impl<'a, T: Sync> ParSlice<'a, T> {
         }
     }
 
-    /// Runs `f` on every element across the worker threads.
+    /// Runs `f` on every element across the worker pool.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(&'a T) + Sync,
     {
         let items = self.items;
-        run_indexed(items.len(), current_num_threads(), |i| f(&items[i]));
+        run_indexed(items.len(), |i| f(&items[i]));
     }
 }
 
@@ -246,7 +548,7 @@ impl<'a, T: Sync, F> ParSliceMap<'a, T, F> {
     {
         let items = self.items;
         let f = self.f;
-        run_indexed(items.len(), current_num_threads(), |i| f(&items[i])).into()
+        run_indexed(items.len(), |i| f(&items[i])).into()
     }
 }
 
@@ -258,9 +560,18 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Pins the pool width to 4 (once, same value from every test) so
+    /// the parallel paths are exercised even on single-CPU CI.
+    fn force_pool() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| super::set_num_threads_for_tests(4));
+    }
 
     #[test]
     fn range_map_collect_preserves_order() {
+        force_pool();
         let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v.len(), 1000);
         assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
@@ -268,6 +579,7 @@ mod tests {
 
     #[test]
     fn slice_map_collect_preserves_order() {
+        force_pool();
         let input: Vec<f64> = (0..257).map(|i| i as f64).collect();
         let out: Vec<f64> = input.par_iter().map(|&x| x + 0.5).collect();
         assert_eq!(out.len(), 257);
@@ -276,7 +588,7 @@ mod tests {
 
     #[test]
     fn for_each_visits_everything() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        force_pool();
         let hits = AtomicUsize::new(0);
         (0..123).into_par_iter().for_each(|_| {
             hits.fetch_add(1, Ordering::Relaxed);
@@ -286,6 +598,7 @@ mod tests {
 
     #[test]
     fn join_returns_both() {
+        force_pool();
         let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
@@ -293,6 +606,7 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
+        force_pool();
         let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
         assert!(v.is_empty());
         let v: Vec<usize> = (7..8).into_par_iter().map(|i| i).collect();
@@ -300,10 +614,11 @@ mod tests {
     }
 
     #[test]
-    fn blocks_cover_exactly() {
+    fn split_even_covers_exactly() {
+        force_pool();
         for len in [0usize, 1, 2, 7, 16, 33] {
-            for threads in [1usize, 2, 3, 8] {
-                let b = super::blocks(len, threads);
+            for pieces in [1usize, 2, 3, 8] {
+                let b = super::scheduling::split_even(len, pieces);
                 let mut expect = 0;
                 for (lo, hi) in b {
                     assert_eq!(lo, expect);
@@ -313,5 +628,55 @@ mod tests {
                 assert_eq!(expect, len);
             }
         }
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_calls() {
+        force_pool();
+        // Thousands of parallel calls must not accumulate OS threads
+        // (the pre-pool shim spawned per call; the pool reuses its
+        // workers). Smoke-tested by wall-clock sanity: this loop used
+        // to cost ~100µs * 2000 in spawns alone.
+        for round in 0..2000usize {
+            let v: Vec<usize> = (0..64).into_par_iter().map(|i| i + round).collect();
+            assert_eq!(v[63], 63 + round);
+        }
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        force_pool();
+        // A parallel call inside a parallel call (the service runs
+        // parallel solver sweeps inside its parallel deployment loop).
+        let outer: Vec<usize> = (0..8)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..50).into_par_iter().map(|j| i * j).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        for (i, &s) in outer.iter().enumerate() {
+            assert_eq!(s, i * (49 * 50) / 2);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        force_pool();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..100)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 37 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "panic must reach the submitting thread");
+        // …and the pool must still be usable afterwards.
+        let v: Vec<usize> = (0..10).into_par_iter().map(|i| i).collect();
+        assert_eq!(v.len(), 10);
     }
 }

@@ -1,0 +1,99 @@
+//! Property tier for the pool's chunk schedulers: on arbitrary work
+//! sizes and *skewed* per-item costs, the work-stealing schedule and
+//! the historical contiguous-block schedule must both produce exactly
+//! the serial result, visiting every item exactly once — scheduling
+//! may only ever change cost, never answers.
+//!
+//! The `threads` parameter here is the *schedule* width (how the chunk
+//! table is cut); the pool itself is pinned once to 4 workers, so the
+//! tests also cover schedules narrower and wider than the pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use rayon::scheduling::{run_contiguous, run_stealing, split_even, CHUNKS_PER_WORKER};
+
+/// Pins the pool width once (same value from every test) so the pool
+/// paths run even on single-CPU CI.
+fn force_pool() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| rayon::set_num_threads_for_tests(4));
+}
+
+/// Deterministic per-item "work": a short hash loop whose length is
+/// the item's weight, returning a value that depends on every spin.
+fn spin(i: usize, weight: usize) -> u64 {
+    let mut acc = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    for k in 0..weight {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(k as u64 | 1);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Both schedulers ≡ serial, every item visited exactly once each.
+    #[test]
+    fn schedulers_match_serial_and_visit_once(
+        len in 0usize..300,
+        threads in 1usize..=6,
+        weights in prop::collection::vec(0usize..64, 1..24),
+    ) {
+        force_pool();
+        // Skewed cost profile: item i's weight cycles through a short
+        // random pattern, so contiguous blocks get unequal work.
+        let weight = |i: usize| weights[i % weights.len()];
+        let serial: Vec<u64> = (0..len).map(|i| spin(i, weight(i))).collect();
+
+        let visits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        let f = |i: usize| -> u64 {
+            visits[i].fetch_add(1, Ordering::Relaxed);
+            spin(i, weight(i))
+        };
+        let stolen: Vec<u64> = run_stealing(len, threads, &f);
+        let contiguous: Vec<u64> = run_contiguous(len, threads, &f);
+
+        prop_assert_eq!(&stolen, &serial);
+        prop_assert_eq!(&contiguous, &serial);
+        for (i, v) in visits.iter().enumerate() {
+            prop_assert_eq!(v.load(Ordering::Relaxed), 2, "item {} not visited exactly once per scheduler", i);
+        }
+    }
+
+    /// The stealing chunk table covers `[0, len)` exactly, in order,
+    /// and is finer than one block per worker whenever it can be.
+    #[test]
+    fn stealing_chunk_table_is_fine_and_exact(
+        len in 0usize..500,
+        threads in 1usize..=8,
+    ) {
+        force_pool();
+        let chunks = split_even(len, threads * CHUNKS_PER_WORKER);
+        let mut expect = 0;
+        for &(lo, hi) in &chunks {
+            prop_assert_eq!(lo, expect);
+            prop_assert!(hi >= lo);
+            expect = hi;
+        }
+        prop_assert_eq!(expect, len);
+        if len >= threads * CHUNKS_PER_WORKER {
+            prop_assert_eq!(chunks.len(), threads * CHUNKS_PER_WORKER);
+        }
+    }
+}
+
+/// The same job run under every schedule width produces the same
+/// vector — worker count and chunking are invisible in the output.
+#[test]
+fn results_identical_across_schedule_widths() {
+    force_pool();
+    let f = |i: usize| spin(i, i % 37);
+    let reference: Vec<u64> = (0..257).map(f).collect();
+    for threads in 1..=8 {
+        assert_eq!(run_stealing(257, threads, &f), reference);
+        assert_eq!(run_contiguous(257, threads, &f), reference);
+    }
+}

@@ -107,6 +107,7 @@ fn main() -> ExitCode {
                     }
                 },
             };
+            let sweep_order = get("sweep-order");
             cli::cmd_batch(
                 &envs,
                 seed,
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
                 samples,
                 snapshot_dir.as_deref(),
                 rebase_every,
+                sweep_order.as_deref(),
             )
             .map(|r| print!("{r}"))
         }

@@ -177,9 +177,24 @@ fn parse_day_list(days: &str) -> Result<Vec<f64>, CliError> {
         .collect()
 }
 
+/// Parses a sweep-order name (the `--sweep-order` flag of `batch`).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown names.
+pub fn parse_sweep_order(name: &str) -> Result<SweepOrder, CliError> {
+    match name {
+        "gauss-seidel" => Ok(SweepOrder::GaussSeidel),
+        "red-black" => Ok(SweepOrder::RedBlack),
+        other => Err(CliError::Usage(format!(
+            "unknown sweep order '{other}' (expected gauss-seidel|red-black)"
+        ))),
+    }
+}
+
 /// Registers one deployment per listed environment (comma-separated)
-/// with a fresh [`UpdateService`].
-fn build_fleet(envs: &str, seed: u64) -> Result<UpdateService, CliError> {
+/// with a fresh [`UpdateService`], each running `config`.
+fn build_fleet(envs: &str, seed: u64, config: &UpdaterConfig) -> Result<UpdateService, CliError> {
     let env_list: Vec<&str> = envs
         .split(',')
         .map(str::trim)
@@ -193,7 +208,7 @@ fn build_fleet(envs: &str, seed: u64) -> Result<UpdateService, CliError> {
         let env = parse_environment(name)?;
         let testbed = Testbed::new(env, seed.wrapping_add(k as u64));
         service
-            .register(format!("{name}-{k}"), testbed, UpdaterConfig::default(), 20)
+            .register(format!("{name}-{k}"), testbed, config.clone(), 20)
             .map_err(|e| CliError::Pipeline(e.to_string()))?;
     }
     Ok(service)
@@ -233,10 +248,17 @@ fn render_snapshot(service: &UpdateService) -> Result<String, CliError> {
 /// warm-start rebase path, numerically identical to rebuilding each
 /// engine from scratch.
 ///
+/// `sweep_order` selects the Exact-coupling phase-2 order for every
+/// deployment's solver: `None`/`"gauss-seidel"` is the historical
+/// sequential order, `"red-black"` the parallel checkerboard
+/// half-sweeps (a different — not worse — iteration trajectory; see
+/// [`SweepOrder`]).
+///
 /// # Errors
 ///
-/// Returns [`CliError`] on malformed lists, a zero `rebase_every`,
-/// pipeline failure, or an unwritable snapshot directory.
+/// Returns [`CliError`] on malformed lists, a zero `rebase_every`, an
+/// unknown sweep order, pipeline failure, or an unwritable snapshot
+/// directory.
 pub fn cmd_batch(
     envs: &str,
     seed: u64,
@@ -244,6 +266,7 @@ pub fn cmd_batch(
     samples: usize,
     snapshot_dir: Option<&Path>,
     rebase_every: Option<usize>,
+    sweep_order: Option<&str>,
 ) -> Result<String, CliError> {
     let day_list = parse_day_list(days)?;
     if day_list.is_empty() {
@@ -254,7 +277,14 @@ pub fn cmd_batch(
     if rebase_every == Some(0) {
         return Err(CliError::Usage("--rebase-every must be >= 1".into()));
     }
-    let mut service = build_fleet(envs, seed)?;
+    let config = UpdaterConfig {
+        sweep_order: match sweep_order {
+            Some(name) => parse_sweep_order(name)?,
+            None => SweepOrder::default(),
+        },
+        ..UpdaterConfig::default()
+    };
+    let mut service = build_fleet(envs, seed, &config)?;
     let snap_path = match snapshot_dir {
         Some(dir) => {
             std::fs::create_dir_all(dir)
@@ -314,7 +344,7 @@ pub fn cmd_batch(
 /// Returns [`CliError`] on malformed lists or pipeline failure.
 pub fn cmd_snapshot(envs: &str, seed: u64, days: &str, samples: usize) -> Result<String, CliError> {
     let day_list = parse_day_list(days)?;
-    let mut service = build_fleet(envs, seed)?;
+    let mut service = build_fleet(envs, seed, &UpdaterConfig::default())?;
     for &day in &day_list {
         service
             .run_cycle(day, samples.max(1))
@@ -370,6 +400,7 @@ pub fn usage() -> &'static str {
        iupdater info     --db <db file>\n\
        iupdater batch    --envs <e1,e2,...> --days <d1,d2,...> [--seed N] [--samples S]\n\
                          [--snapshot-dir DIR] [--rebase-every N]\n\
+                         [--sweep-order gauss-seidel|red-black]\n\
        iupdater snapshot --envs <e1,e2,...> [--days <d1,...>] [--seed N] [--samples S]\n\
        iupdater restore  --snapshot <snap file> [--days <d1,...>] [--samples S]\n\
      \n\
@@ -379,6 +410,9 @@ pub fn usage() -> &'static str {
      with --snapshot-dir the fleet is checkpointed to DIR/fleet.snap after\n\
      every cycle, and with --rebase-every N every engine is re-anchored on\n\
      its freshest database after every N-th cycle (warm-start rebase).\n\
+     --sweep-order red-black runs the Exact-coupling phase 2 as parallel\n\
+     red-black half-sweeps (different iteration trajectory, same\n\
+     stationary quality — see core/tests/exact_convergence.rs).\n\
      `snapshot` prints a durable fleet snapshot to stdout;\n\
      `restore` resumes one, runs more cycles, and prints the updated\n\
      snapshot (fleet report goes to stderr)."
@@ -419,7 +453,7 @@ mod tests {
 
     #[test]
     fn batch_runs_fleet_cycles() {
-        let report = cmd_batch("office,library", 3, "5, 15", 2, None, None).unwrap();
+        let report = cmd_batch("office,library", 3, "5, 15", 2, None, None, None).unwrap();
         assert!(
             report.contains("2 deployment(s), 2 cycle day(s)"),
             "{report}"
@@ -434,7 +468,7 @@ mod tests {
 
     #[test]
     fn batch_rebases_on_schedule() {
-        let report = cmd_batch("office,library", 3, "5,15,30", 2, None, Some(2)).unwrap();
+        let report = cmd_batch("office,library", 3, "5,15,30", 2, None, Some(2), None).unwrap();
         // Three cycles, rebase after every second: exactly one rebase
         // line (after day 15), naming both deployments.
         assert_eq!(
@@ -447,7 +481,7 @@ mod tests {
         assert!(report.contains("day  15.0  rebased"), "{report}");
         assert!(report.contains("office-0: 3 cycle(s) completed"));
         // Rebasing every cycle also works.
-        let every = cmd_batch("office", 7, "5,15", 2, None, Some(1)).unwrap();
+        let every = cmd_batch("office", 7, "5,15", 2, None, Some(1), None).unwrap();
         assert_eq!(
             every
                 .matches("rebased 1 deployment(s) (warm start)")
@@ -457,27 +491,54 @@ mod tests {
         );
         // A zero interval is a usage error.
         assert!(matches!(
-            cmd_batch("office", 1, "5", 2, None, Some(0)),
+            cmd_batch("office", 1, "5", 2, None, Some(0), None),
             Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn batch_accepts_sweep_orders() {
+        // Both orders run the fleet to completion; red-black follows a
+        // different (not worse) trajectory, so only structural output
+        // is compared — the convergence tier owns the numerics.
+        for order in ["gauss-seidel", "red-black"] {
+            let report = cmd_batch("office", 3, "5,15", 2, None, None, Some(order)).unwrap();
+            assert!(
+                report.contains("office-0: 2 cycle(s) completed"),
+                "{report}"
+            );
+        }
+        // Explicit gauss-seidel is exactly the default.
+        let explicit = cmd_batch("office", 3, "5", 2, None, None, Some("gauss-seidel")).unwrap();
+        let default = cmd_batch("office", 3, "5", 2, None, None, None).unwrap();
+        assert_eq!(explicit, default);
+        // Unknown names are usage errors.
+        assert!(matches!(
+            cmd_batch("office", 3, "5", 2, None, None, Some("rainbow")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_sweep_order("red-black"),
+            Ok(SweepOrder::RedBlack)
         ));
     }
 
     #[test]
     fn batch_rejects_bad_lists() {
         assert!(matches!(
-            cmd_batch("", 1, "5", 2, None, None),
+            cmd_batch("", 1, "5", 2, None, None, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_batch("office", 1, "abc", 2, None, None),
+            cmd_batch("office", 1, "abc", 2, None, None, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_batch("office", 1, "", 2, None, None),
+            cmd_batch("office", 1, "", 2, None, None, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            cmd_batch("mall", 1, "5", 2, None, None),
+            cmd_batch("mall", 1, "5", 2, None, None, None),
             Err(CliError::Usage(_))
         ));
     }
@@ -525,7 +586,7 @@ mod tests {
             std::process::id(),
             line!()
         ));
-        let report = cmd_batch("office", 3, "5,15", 2, Some(&dir), None).unwrap();
+        let report = cmd_batch("office", 3, "5,15", 2, Some(&dir), None, None).unwrap();
         let path = dir.join("fleet.snap");
         assert!(
             report.contains(&format!("checkpoint written: {}", path.display())),

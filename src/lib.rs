@@ -33,16 +33,28 @@
 //!    [`core::solver::terms::PenaltyTerm`]s (data fit, MIC
 //!    correlation, continuity, link similarity) composed by a generic
 //!    ALS engine. Per-column/per-row normal equations are assembled
-//!    and LU-factored in parallel (phase 1); only the Exact-coupling
-//!    cross terms walk sequentially (phase 2), so results are
-//!    bit-identical to the historical monolith kept in
-//!    `core::solver::reference` and asserted by the golden parity
-//!    tests.
+//!    and LU-factored in parallel (phase 1); the Exact-coupling cross
+//!    terms (phase 2) default to the historical sequential order —
+//!    bit-identical to the monolith kept in `core::solver::reference`
+//!    and asserted by the golden parity tests — or run as parallel
+//!    red-black half-sweeps under the opt-in
+//!    [`core::config::SweepOrder::RedBlack`] (`--sweep-order
+//!    red-black` on `batch`), whose different-but-equal trajectory has
+//!    its own convergence tier.
 //! 3. **The batched update service** (`core::service`): an
 //!    [`core::service::UpdateService`] owns N deployments (engine +
 //!    fingerprint store each) and runs update cycles across them in
 //!    parallel — the API the `iupdater batch` CLI subcommand, the
 //!    `ext-fleet` evaluation and the `update_campaign` example drive.
+//!
+//! All parallelism runs on the `rayon` facade's **persistent worker
+//! pool** with chunked work stealing: results are deterministic at any
+//! worker count, skewed fleets balance, and nested parallelism (solver
+//! sweeps inside the service's deployment fan-out) cannot deadlock.
+//!
+//! The full map — including the drift-tolerance fallback rule, the
+//! parity-tier test strategy and the v1/v2/v3 snapshot lineage — lives
+//! in `ARCHITECTURE.md` at the repository root.
 //!
 //! # Quickstart
 //!
@@ -69,6 +81,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod cli;
 
