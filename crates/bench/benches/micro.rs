@@ -68,6 +68,107 @@ fn bench_linalg(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dense-multiply kernel family at every dispatcher shape class
+/// (see `iupdater_linalg::kernels`): tiny shared dimension, short-fat,
+/// tall-thin and general, plus the Gram and `A·Bᵀ` entry points. All
+/// benchmarks reuse a preallocated output so they time the kernel, not
+/// the allocator. Names are stable: BENCH_PR6.json tracks them.
+fn bench_matmul(c: &mut Criterion) {
+    fn mat(rows: usize, cols: usize, phase: f64) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            ((i * cols + j) as f64 * 0.37 + phase).sin() * 2.0
+        })
+    }
+    let mut group = c.benchmark_group("matmul");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    // Tiny shared dimension (k = 8): the shape BENCH_PR1 showed the
+    // blocked kernel losing at (0.88x).
+    let a = mat(96, 8, 0.0);
+    let b = mat(8, 96, 1.0);
+    let mut out = Matrix::zeros(96, 96);
+    group.bench_function("96x8_8x96", |bch| {
+        bch.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out).unwrap())
+    });
+
+    // Tiny shared dimension at the scaled-office width (k = 16 is the
+    // dispatch threshold boundary).
+    let a = mat(32, 16, 0.2);
+    let b = mat(16, 1536, 1.2);
+    let mut out = Matrix::zeros(32, 1536);
+    group.bench_function("32x16_16x1536", |bch| {
+        bch.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out).unwrap())
+    });
+
+    // Short-fat: few output rows, long shared dimension.
+    let a = mat(8, 96, 0.4);
+    let b = mat(96, 96, 1.4);
+    let mut out = Matrix::zeros(8, 96);
+    group.bench_function("8x96_96x96", |bch| {
+        bch.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out).unwrap())
+    });
+
+    // Tall-thin: few output columns (the Qᵀ·C projection shape of
+    // `PivotedQr::append_columns` appending a day's 8 columns).
+    let a = mat(96, 96, 0.6);
+    let b = mat(96, 8, 1.6);
+    let mut out = Matrix::zeros(96, 8);
+    group.bench_function("96x96_96x8", |bch| {
+        bch.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out).unwrap())
+    });
+
+    // General: everything big enough for cache blocking to matter.
+    let a = mat(96, 96, 0.8);
+    let b = mat(96, 96, 1.8);
+    let mut out = Matrix::zeros(96, 96);
+    group.bench_function("96x96_96x96", |bch| {
+        bch.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out).unwrap())
+    });
+
+    // A·Bᵀ, tiny shared dimension: the solver engine's per-sweep
+    // reconstruction `X̂ = L Rᵀ` at the paper's office size (rank 8).
+    let l = mat(8, 8, 0.1);
+    let r = mat(96, 8, 1.1);
+    let mut out = Matrix::zeros(8, 96);
+    group.bench_function("bt_8x8_96x8", |bch| {
+        bch.iter(|| {
+            black_box(&l)
+                .matmul_bt_into(black_box(&r), &mut out)
+                .unwrap()
+        })
+    });
+
+    // A·Bᵀ, large shared dimension (row-dot shape).
+    let l = mat(96, 96, 0.3);
+    let r = mat(96, 96, 1.3);
+    let mut out = Matrix::zeros(96, 96);
+    group.bench_function("bt_96x96_96x96", |bch| {
+        bch.iter(|| {
+            black_box(&l)
+                .matmul_bt_into(black_box(&r), &mut out)
+                .unwrap()
+        })
+    });
+
+    // Gram of the office matrix (8 links x 96 cells): 96x96 output
+    // with the rank-8 inner dimension.
+    let x = mat(8, 96, 0.5);
+    let mut out = Matrix::zeros(96, 96);
+    group.bench_function("gram_8x96", |bch| {
+        bch.iter(|| black_box(&x).gram_into(&mut out).unwrap())
+    });
+
+    // Gram of a tall rank-8 factor: the LRR dictionary normal matrix.
+    let x = mat(96, 8, 0.7);
+    let mut out = Matrix::zeros(8, 8);
+    group.bench_function("gram_96x8", |bch| {
+        bch.iter(|| black_box(&x).gram_into(&mut out).unwrap())
+    });
+
+    group.finish();
+}
+
 fn bench_core(c: &mut Criterion) {
     let t = Testbed::new(Environment::office(), 1);
     let day0 = FingerprintMatrix::survey(&t, 0.0, 20);
@@ -456,6 +557,7 @@ fn bench_incremental_qr(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_linalg,
+    bench_matmul,
     bench_core,
     bench_baselines,
     bench_simulator,

@@ -28,13 +28,20 @@
 //! assert!((svd.singular_values[1] - 2.0).abs() < 1e-12);
 //! ```
 
-#![forbid(unsafe_code)]
+// The only unsafe code permitted anywhere in the crate is the
+// `std::arch` SIMD module inside `kernels` (feature-gated, runtime
+// feature detection, `#[allow(unsafe_code)]` scoped to that module).
+// Builds without the `simd` feature keep the blanket forbid.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod error;
 mod matrix;
 mod ops;
 mod view;
+
+pub mod kernels;
 
 pub mod cholesky;
 pub mod echelon;

@@ -33,8 +33,9 @@ impl Matrix {
         self.zip_with(other, "hadamard", |a, b| a * b)
     }
 
-    /// Matrix product `self * other` (cache-blocked i-k-j kernel; see
-    /// [`Matrix::matmul_into`] for the allocation-free variant).
+    /// Matrix product `self * other` (shape-dispatched register-tiled
+    /// kernels, see [`crate::kernels`]; [`Matrix::matmul_into`] is the
+    /// allocation-free variant).
     ///
     /// # Errors
     ///
@@ -79,19 +80,8 @@ impl Matrix {
     pub fn gram(&self) -> Matrix {
         let n = self.cols();
         let mut g = Matrix::zeros(n, n);
-        for i in 0..self.rows() {
-            let row = self.row(i);
-            for a in 0..n {
-                let ra = row[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                let g_row = g.row_mut(a);
-                for (b, &rb) in row.iter().enumerate() {
-                    g_row[b] += ra * rb;
-                }
-            }
-        }
+        self.gram_into(&mut g)
+            .expect("gram_into with a freshly sized output cannot fail");
         g
     }
 

@@ -12,15 +12,14 @@
 //!   [`Matrix::scale_mut`], [`Matrix::gram_into`],
 //!   [`Matrix::add_outer`] (Gram-accumulation) and slice helpers
 //!   ([`axpy_slice`], [`scale_slice`]);
-//! - a cache-blocked multiply kernel shared by `matmul` and
-//!   `matmul_into` (loop tiling only — per-element accumulation order
-//!   is unchanged, so results are bit-identical to the naive kernel).
+//! - dispatch into the shape-aware microkernel layer ([`crate::kernels`])
+//!   shared by `matmul`, `matmul_into`, `matmul_bt_into` and
+//!   `gram_into`. Every kernel arm tiles loops only — per-element
+//!   accumulation order stays ascending over the inner dimension, so
+//!   results are bit-identical to the naive kernel (see the
+//!   accumulation-order contract in [`crate::kernels`]).
 
-use crate::{LinalgError, Matrix, Result};
-
-/// Tile edge for the blocked multiply kernel. 64 f64 = 512 B per row
-/// segment: three active tiles stay comfortably inside L1.
-const BLOCK: usize = 64;
+use crate::{kernels, LinalgError, Matrix, Result};
 
 /// `y += alpha * x` over two equal-length slices.
 ///
@@ -178,12 +177,11 @@ impl<'a> MatrixView<'a> {
                 rhs: out.shape(),
             });
         }
-        out.as_mut_slice().fill(0.0);
         let out_cols = other.cols;
         let out_data = out.as_mut_slice();
-        blocked_multiply(
-            |i| self.row(i),
-            |p| other.row(p),
+        kernels::matmul_into_rows(
+            &|i| self.row(i),
+            &|p| other.row(p),
             out_data,
             self.rows,
             self.cols,
@@ -307,37 +305,6 @@ impl<'a> MatrixViewMut<'a> {
     }
 }
 
-/// The shared cache-blocked i-k-j multiply kernel: `out += A * B` where
-/// rows of `A` and `B` are fetched through closures (so owned matrices
-/// and strided views share one implementation). Loop tiling over `i`
-/// and `j` only — every output element still accumulates over `k` in
-/// ascending order, so results are bit-identical to the naive kernel.
-fn blocked_multiply<'r, A, B>(a_row: A, b_row: B, out: &mut [f64], m: usize, k: usize, n: usize)
-where
-    A: Fn(usize) -> &'r [f64],
-    B: Fn(usize) -> &'r [f64],
-{
-    for jb in (0..n).step_by(BLOCK) {
-        let jhi = (jb + BLOCK).min(n);
-        for ib in (0..m).step_by(BLOCK) {
-            let ihi = (ib + BLOCK).min(m);
-            for i in ib..ihi {
-                let arow = a_row(i);
-                let orow = &mut out[i * n + jb..i * n + jhi];
-                for (p, &aip) in arow.iter().enumerate().take(k) {
-                    if aip == 0.0 {
-                        continue;
-                    }
-                    let brow = &b_row(p)[jb..jhi];
-                    for (o, &b) in orow.iter_mut().zip(brow) {
-                        *o += aip * b;
-                    }
-                }
-            }
-        }
-    }
-}
-
 impl Matrix {
     /// Borrows the whole matrix as a view.
     pub fn view(&self) -> MatrixView<'_> {
@@ -411,7 +378,8 @@ impl Matrix {
         }
     }
 
-    /// `out = self * other` without allocating (blocked kernel).
+    /// `out = self * other` without allocating (shape-dispatched
+    /// microkernels, see [`crate::kernels`]).
     ///
     /// # Errors
     ///
@@ -444,13 +412,15 @@ impl Matrix {
                 rhs: out.shape(),
             });
         }
-        for i in 0..self.rows() {
-            let arow = self.row(i);
-            let orow = out.row_mut(i);
-            for (j, o) in orow.iter_mut().enumerate() {
-                *o = Matrix::dot(arow, other.row(j));
-            }
-        }
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        kernels::matmul_bt_rows(
+            &|i| self.row(i),
+            &|j| other.row(j),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
         Ok(())
     }
 
@@ -527,20 +497,8 @@ impl Matrix {
                 rhs: out.shape(),
             });
         }
-        out.as_mut_slice().fill(0.0);
-        for i in 0..self.rows() {
-            let row = self.row(i);
-            for a in 0..n {
-                let ra = row[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                let g_row = out.row_mut(a);
-                for (b, &rb) in row.iter().enumerate() {
-                    g_row[b] += ra * rb;
-                }
-            }
-        }
+        let rows = self.rows();
+        kernels::gram_rows(&|i| self.row(i), out.as_mut_slice(), rows, n);
         Ok(())
     }
 

@@ -1,0 +1,260 @@
+//! Kernel-dispatch parity tier.
+//!
+//! The shape-aware dispatcher in `iupdater_linalg::kernels` promises
+//! that every arm — tiny-inner, short-fat, tall-thin, general, plus
+//! the `A·Bᵀ` and Gram entry points — computes each output element as
+//! an ascending-`k` sum, **bit-identical** to the naive triple loop
+//! and to the pre-dispatch blocked kernel on finite inputs. This tier
+//! pins that contract:
+//!
+//! - each arm is proptested against the naive reference with
+//!   `prop_assert_eq!` (exact bits, no tolerance), on shape families
+//!   that provably land on that arm (asserted via `classify`);
+//! - fully randomized shapes, including the degenerate `m = 1`,
+//!   `n = 1`, `k = 1` and empty (`0`-extent) cases, cross-check all
+//!   three entry points;
+//! - a reimplementation of the legacy cache-blocked `i-k-j` kernel
+//!   (the exact code `blocked_multiply` shipped before the dispatcher)
+//!   proves below-threshold shapes — and every other finite-input
+//!   shape — produce the same bits as before the refactor.
+//!
+//! Any future kernel that cannot preserve the accumulation order must
+//! downgrade the affected assertions to a `<= 1e-12` relative bound
+//! (see ARCHITECTURE.md, "Kernel dispatch") — never silently loosen.
+
+use iupdater_linalg::kernels::{classify, matmul_rk, KernelArm, THIN_EDGE, TINY_INNER_MAX};
+use iupdater_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Naive `i-j-k` reference: one left-to-right ascending-`k` sum per
+/// output element, the order every dispatcher arm must reproduce.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    Matrix::from_fn(m, n, |i, j| {
+        let mut s = 0.0;
+        for p in 0..k {
+            s += a[(i, p)] * b[(p, j)];
+        }
+        s
+    })
+}
+
+/// The pre-dispatch kernel, reimplemented verbatim from the seed's
+/// `blocked_multiply` (cache-blocked `i-k-j`, `BLOCK = 64`, zero-skip
+/// on `a[i][p]`, accumulating into a pre-zeroed output). Below the
+/// dispatch thresholds the new arms must match it bit-for-bit; on
+/// finite inputs the match in fact holds at every shape because the
+/// per-element accumulation order never changed.
+fn legacy_blocked_multiply(a: &Matrix, b: &Matrix) -> Matrix {
+    const BLOCK: usize = 64;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = vec![0.0; m * n];
+    for jb in (0..n).step_by(BLOCK) {
+        let jhi = (jb + BLOCK).min(n);
+        for ib in (0..m).step_by(BLOCK) {
+            let ihi = (ib + BLOCK).min(m);
+            for i in ib..ihi {
+                let arow = a.row(i);
+                let orow = &mut out[i * n + jb..i * n + jhi];
+                for (p, &aip) in arow.iter().enumerate().take(k) {
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let brow = &b.row(p)[jb..jhi];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += aip * bv;
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_vec(m, n, out).unwrap()
+}
+
+/// A matrix of the exact shape `r x c` with non-trivial mantissas
+/// (division keeps the low bits busy so reassociation cannot hide).
+fn matrix_of(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, r * c).prop_map(move |data| {
+        Matrix::from_vec(r, c, data.iter().map(|x| x / 3.0).collect()).unwrap()
+    })
+}
+
+/// `(A, B)` multiplicands for an `m x k · k x n` product.
+fn product_pair(m: usize, k: usize, n: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (matrix_of(m, k), matrix_of(k, n))
+}
+
+/// Shape family guaranteed to dispatch to `arm` (checked again inside
+/// each test via `classify`).
+fn shape_for(arm: KernelArm) -> BoxedStrategy<(usize, usize, usize)> {
+    match arm {
+        KernelArm::TinyInner => (1usize..=40, 1usize..=TINY_INNER_MAX, 1usize..=40).boxed(),
+        KernelArm::ShortFat => (
+            1usize..=THIN_EDGE,
+            TINY_INNER_MAX + 1..48usize,
+            1usize..=100,
+        )
+            .boxed(),
+        KernelArm::TallThin => (
+            THIN_EDGE + 1..100usize,
+            TINY_INNER_MAX + 1..48usize,
+            1usize..=THIN_EDGE,
+        )
+            .boxed(),
+        KernelArm::General => (
+            THIN_EDGE + 1..64usize,
+            TINY_INNER_MAX + 1..48usize,
+            THIN_EDGE + 1..64usize,
+        )
+            .boxed(),
+    }
+}
+
+/// Drives one arm: sample a shape from its family, confirm `classify`
+/// picks it, and demand bit-equality with the naive reference through
+/// the public `matmul` / `matmul_into` entry points.
+fn check_arm(arm: KernelArm) -> impl Strategy<Value = (Matrix, Matrix)> {
+    shape_for(arm).prop_flat_map(move |(m, k, n)| {
+        product_pair(m, k, n).prop_map(move |(a, b)| {
+            assert_eq!(classify(m, k, n), arm, "shape family drifted off its arm");
+            (a, b)
+        })
+    })
+}
+
+fn assert_bitwise_eq(got: &Matrix, want: &Matrix) {
+    assert_eq!(got.shape(), want.shape());
+    for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+        assert_eq!(g.to_bits(), w.to_bits(), "bit mismatch: {g} vs {w}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn tiny_inner_matches_naive_bitwise((a, b) in check_arm(KernelArm::TinyInner)) {
+        assert_bitwise_eq(&a.matmul(&b).unwrap(), &naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn short_fat_matches_naive_bitwise((a, b) in check_arm(KernelArm::ShortFat)) {
+        assert_bitwise_eq(&a.matmul(&b).unwrap(), &naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn tall_thin_matches_naive_bitwise((a, b) in check_arm(KernelArm::TallThin)) {
+        assert_bitwise_eq(&a.matmul(&b).unwrap(), &naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn general_matches_naive_bitwise((a, b) in check_arm(KernelArm::General)) {
+        assert_bitwise_eq(&a.matmul(&b).unwrap(), &naive_matmul(&a, &b));
+    }
+
+    /// Fully randomized shapes, degenerate extents included: `m`, `k`
+    /// or `n` may each be `0` or `1`, hitting the early returns and
+    /// the dispatch-table tails of all three entry points.
+    #[test]
+    fn randomized_shapes_match_naive_bitwise(
+        (m, k, n) in (0usize..=20, 0usize..=20, 0usize..=20),
+        seed in prop::collection::vec(-8.0f64..8.0, 20 * 20 * 2),
+    ) {
+        let a = Matrix::from_fn(m, k, |i, j| seed[i * k + j] / 3.0);
+        let b = Matrix::from_fn(k, n, |i, j| seed[400 + i * n + j] / 3.0);
+        // matmul / matmul_into.
+        let prod = a.matmul(&b).unwrap();
+        assert_bitwise_eq(&prod, &naive_matmul(&a, &b));
+        let mut out = Matrix::filled(m, n, f64::NAN); // no pre-zeroing contract
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_bitwise_eq(&out, &prod);
+        // matmul_bt_into against the naive product with an explicit
+        // transpose (same ascending-k order).
+        let bt = b.transpose(); // n x k
+        let mut out_bt = Matrix::filled(m, n, f64::NAN);
+        a.matmul_bt_into(&bt, &mut out_bt).unwrap();
+        assert_bitwise_eq(&out_bt, &prod);
+        // gram_into against the naive XᵀX.
+        let mut g = Matrix::filled(k, k, f64::NAN);
+        a.gram_into(&mut g).unwrap();
+        assert_bitwise_eq(&g, &naive_matmul(&a.transpose(), &a));
+    }
+
+    /// The refactor pin: shapes below the dispatch thresholds (and, on
+    /// finite inputs, every other shape) produce the same bits as the
+    /// seed's `blocked_multiply`.
+    #[test]
+    fn dispatcher_matches_legacy_blocked_kernel_bitwise(
+        (m, k, n) in prop_oneof![
+            // Below-threshold shapes: each arm's home turf.
+            (1usize..=16, 1usize..=TINY_INNER_MAX, 1usize..=16),
+            (1usize..=THIN_EDGE, 17usize..40, 1usize..=80),
+            (9usize..80, 17usize..40, 1usize..=THIN_EDGE),
+            // And shapes that straddle the BLOCK=64 cache-tile edge.
+            (60usize..70, 17usize..40, 60usize..70),
+        ],
+        denom in 1.0f64..7.0,
+    ) {
+        let a = Matrix::from_fn(m, k, |i, j| ((i * k + j) as f64).sin() / denom);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * n + j) as f64).cos() / denom);
+        assert_bitwise_eq(&a.matmul(&b).unwrap(), &legacy_blocked_multiply(&a, &b));
+    }
+}
+
+/// The monomorphised tiny-inner kernel, called directly with explicit
+/// `K`, matches the dispatcher output (which routes through the same
+/// code — this guards the public `matmul_rk` entry point itself).
+#[test]
+fn matmul_rk_direct_call_matches_dispatcher() {
+    let (m, k, n) = (13, 8, 29);
+    let a = Matrix::from_fn(m, k, |i, j| ((i + 2 * j) as f64).sin() / 3.0);
+    let b = Matrix::from_fn(k, n, |i, j| ((3 * i + j) as f64).cos() / 3.0);
+    let mut direct = vec![f64::NAN; m * n];
+    matmul_rk::<8, _, _>(&|i| a.row(i), &|p| b.row(p), &mut direct, m, n);
+    let expected = a.matmul(&b).unwrap();
+    assert_eq!(direct, expected.as_slice());
+}
+
+/// Every decision-table row, spelled out at the boundary values.
+#[test]
+fn decision_table_boundaries() {
+    // k at and just past the tiny-inner threshold.
+    assert_eq!(classify(100, TINY_INNER_MAX, 100), KernelArm::TinyInner);
+    assert_eq!(classify(100, TINY_INNER_MAX + 1, 100), KernelArm::General);
+    // m at and just past the short-fat edge (k large enough).
+    assert_eq!(classify(THIN_EDGE, 32, 100), KernelArm::ShortFat);
+    assert_eq!(classify(THIN_EDGE + 1, 32, 100), KernelArm::General);
+    // n at and just past the tall-thin edge.
+    assert_eq!(classify(100, 32, THIN_EDGE), KernelArm::TallThin);
+    assert_eq!(classify(100, 32, THIN_EDGE + 1), KernelArm::General);
+    // First-match precedence: tiny-inner wins over both thin arms.
+    assert_eq!(classify(1, 1, 1), KernelArm::TinyInner);
+    assert_eq!(classify(THIN_EDGE, 32, THIN_EDGE), KernelArm::ShortFat);
+}
+
+/// Explicit degenerate shapes (the proptest above also reaches these,
+/// but the fixed cases document the intended behaviour and never
+/// shrink away).
+#[test]
+fn degenerate_shapes() {
+    for (m, k, n) in [
+        (1, 1, 1),
+        (1, 5, 9),
+        (9, 5, 1),
+        (5, 1, 5),
+        (0, 3, 4),
+        (3, 0, 4),
+        (3, 4, 0),
+        (0, 0, 0),
+    ] {
+        let a = Matrix::from_fn(m, k, |i, j| (i + j) as f64 + 0.25);
+        let b = Matrix::from_fn(k, n, |i, j| (i * 2 + j) as f64 - 0.5);
+        let got = a.matmul(&b).unwrap();
+        let want = naive_matmul(&a, &b);
+        assert_eq!(got, want, "shape ({m},{k},{n})");
+        // k == 0 must actively zero the (possibly dirty) output.
+        let mut out = Matrix::filled(m, n, f64::NAN);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, want, "matmul_into shape ({m},{k},{n})");
+    }
+}
