@@ -89,7 +89,11 @@
 //! drift-tolerance fallback rule, the parity-tier test strategy and
 //! the v1/v2/v3 snapshot lineage with upgrade paths — is written down
 //! in `ARCHITECTURE.md` at the repository root; change it when you
-//! change one of those invariants.
+//! change one of those invariants. Its § "Static analysis" is
+//! machine-checked: `cargo run -p invariants` enforces, among others,
+//! this crate's panic-freedom contract (library paths return
+//! [`CoreError`], never panic) and its determinism contract (no
+//! hash-order- or wall-clock-dependent results).
 //!
 //! # Quickstart
 //!

@@ -65,6 +65,8 @@ pub fn assignment_errors(
             .enumerate()
             .map(|(k, &e)| (k, deployment.location(t).distance(deployment.location(e))))
             .min_by(|a, b| a.1.total_cmp(&b.1))
+            // invariants: allow(panic-freedom) — `remaining` is
+            // non-empty here: the is_empty() branch above `continue`s.
             .expect("non-empty");
         errors.push(err);
         remaining.swap_remove(idx);

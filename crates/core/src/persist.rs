@@ -754,6 +754,8 @@ fn parse_config(line: &str) -> Result<UpdaterConfig> {
                     _ => return Err(bad("unknown sweep order")),
                 }
             }
+            // invariants: allow(panic-freedom) — the arms mirror the
+            // KEYS table the key was already validated against.
             _ => unreachable!("key membership checked against KEYS above"),
         }
     }

@@ -235,7 +235,7 @@ impl Updater {
             if locs.is_empty()
                 || locs.len() > m.min(n)
                 || locs.windows(2).any(|w| w[0] >= w[1])
-                || *locs.last().expect("non-empty") >= n
+                || locs.last().is_some_and(|&l| l >= n)
             {
                 return Err(CoreError::InvalidArgument(
                     "warm-start basis locations must be sorted, unique and in range",

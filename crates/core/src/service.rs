@@ -554,22 +554,28 @@ impl UpdateService {
             .map(|&(dep, plan)| run_deployment_cycle(dep, plan, day, samples))
             .collect();
         drop(work);
-        // Commit phase: sequential, atomic on success of all.
-        if let Some((idx, e)) = results
-            .iter()
-            .enumerate()
-            .find_map(|(idx, r)| r.as_ref().err().map(|e| (idx, e.clone())))
-        {
+        // Commit phase: sequential, atomic on success of all. A single
+        // pass splits successes from the first error, so no
+        // second-look `expect` is needed.
+        let mut fresh: Vec<Vec<(f64, FingerprintMatrix, SolveReport)>> =
+            Vec::with_capacity(results.len());
+        let mut first_err = None;
+        for (idx, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(list) => fresh.push(list),
+                Err(e) => {
+                    first_err = Some((idx, e));
+                    break;
+                }
+            }
+        }
+        if let Some((idx, e)) = first_err {
             // Undo the drain so a retry sees the same queues.
             for (dep, plan) in self.deployments.iter_mut().zip(plans) {
                 dep.queue.requeue(plan);
             }
             return Err(self.dep_err(idx, e));
         }
-        let fresh: Vec<Vec<(f64, FingerprintMatrix, SolveReport)>> = results
-            .into_iter()
-            .map(|r| r.expect("checked above"))
-            .collect();
         let mut outcomes = Vec::with_capacity(fresh.len());
         for (idx, committed) in fresh.into_iter().enumerate() {
             self.commit_deployment(idx, committed, &mut outcomes);
@@ -615,6 +621,10 @@ impl UpdateService {
                 final_objective: *report
                     .objective_trace()
                     .last()
+                    // invariants: allow(panic-freedom) — both solver
+                    // backends push the initial objective before the
+                    // iteration loop (engine.rs / reference.rs), so
+                    // the trace is non-empty by construction.
                     .expect("trace is never empty"),
                 reference_count: dep.updater.reference_locations().len(),
             });

@@ -533,6 +533,9 @@ impl AlsEngine {
             self.update_rows(&terms, &mut l, &rm)?;
             iterations += 1;
             let v = self.objective(&terms, &l, &rm, &mut xhat)?;
+            // invariants: allow(panic-freedom) — the initial
+            // objective is pushed before the loop, so the trace is
+            // never empty.
             let prev = *trace.last().expect("trace non-empty");
             trace.push(v);
             // Stop on relative stagnation (plays the role of v_th).

@@ -89,6 +89,9 @@ impl SolveReport {
     pub fn reconstruction(&self) -> Matrix {
         self.l
             .matmul(&self.r.transpose())
+            // invariants: allow(panic-freedom) — both factors come
+            // from the same solve and share the rank dimension, so
+            // the shapes always agree.
             .expect("factor shapes are internally consistent")
     }
 

@@ -100,6 +100,9 @@ impl ReferenceSolver {
             self.update_rows(&mut l, &rm, &weights)?;
             iterations += 1;
             let v = self.objective(&l, &rm, &weights)?;
+            // invariants: allow(panic-freedom) — the initial
+            // objective is pushed before the loop, so the trace is
+            // never empty.
             let prev = *trace.last().expect("trace non-empty");
             trace.push(v);
             // Stop on relative stagnation (plays the role of v_th).

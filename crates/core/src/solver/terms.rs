@@ -258,6 +258,9 @@ impl PenaltyTerm for ReferenceTerm {
         let gram = sweep
             .gram
             .as_ref()
+            // invariants: allow(panic-freedom) — the engine builds
+            // the sweep Gram whenever a reference term is active;
+            // TermContext::p is Some only in that configuration.
             .expect("reference term requires the sweep Gram");
         a.axpy(self.weight, gram)?;
         for i in 0..l.rows() {
@@ -283,6 +286,9 @@ impl PenaltyTerm for ReferenceTerm {
         let gram = sweep
             .gram
             .as_ref()
+            // invariants: allow(panic-freedom) — the engine builds
+            // the sweep Gram whenever a reference term is active;
+            // TermContext::p is Some only in that configuration.
             .expect("reference term requires the sweep Gram");
         a.axpy(self.weight, gram)?;
         for j in 0..rm.rows() {

@@ -164,6 +164,10 @@ impl Tracker {
                         .iter()
                         .enumerate()
                         .min_by(|a, b| a.1.total_cmp(b.1))
+                        // invariants: allow(panic-freedom) — this
+                        // runs inside `for j in 0..n`, so `cost`
+                        // (one entry per grid cell, length n) is
+                        // non-empty.
                         .expect("non-empty");
                     best = prev_cost + self.config.motion_weight * max_step_sq * 4.0;
                     best_prev = prev_idx;
@@ -182,7 +186,7 @@ impl Tracker {
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(j, _)| j)
-            .expect("non-empty grid");
+            .ok_or(CoreError::InvalidArgument("tracking grid is empty"))?;
         path.push(cur);
         for row in back.iter().rev() {
             cur = row[cur];

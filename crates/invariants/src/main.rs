@@ -1,0 +1,82 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p invariants            # lint the workspace, text output
+//! cargo run -p invariants -- --json  # machine-readable output
+//! cargo run -p invariants -- <root>  # lint a different tree
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: invariants [--json] [workspace-root]");
+                return ExitCode::from(0);
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace this crate was built from: the linter
+    // is a workspace tool, so `cargo run -p invariants` from anywhere
+    // inside the checkout lints the checkout.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let ws = match invariants::workspace::collect(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "invariants: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = invariants::analyze(&ws);
+
+    if json {
+        print!(
+            "{}",
+            invariants::report::render_json(
+                &analysis.diagnostics,
+                analysis.waived,
+                ws.files.len(),
+                &analysis.doc_constants_checked,
+            )
+        );
+    } else {
+        for d in &analysis.diagnostics {
+            println!("{}", d.render());
+        }
+        eprintln!(
+            "invariants: {} files scanned, {} violation(s), {} waived, \
+             doc-drift cross-checked {} constant(s)",
+            ws.files.len(),
+            analysis.diagnostics.len(),
+            analysis.waived,
+            analysis.doc_constants_checked.len(),
+        );
+    }
+    if analysis.diagnostics.is_empty() {
+        ExitCode::from(0)
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,107 @@
+//! Diagnostics and their renderings (human text and machine JSON).
+
+/// One rule violation, anchored to a workspace-relative `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`unsafe-confinement`, `determinism`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [rule] message` — the clickable text form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Minimal JSON string escaping (the only JSON we emit is flat).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full run as one machine-readable JSON document.
+pub fn render_json(
+    diagnostics: &[Diagnostic],
+    waived: usize,
+    files_scanned: usize,
+    doc_constants: &[(String, String)],
+) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [\n");
+    for (i, d) in diagnostics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            escape(d.rule),
+            escape(&d.file),
+            d.line,
+            escape(&d.message),
+            if i + 1 < diagnostics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"violations\": {},\n", diagnostics.len()));
+    out.push_str(&format!("  \"waived\": {waived},\n"));
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str("  \"doc_constants_checked\": [\n");
+    for (i, (name, value)) in doc_constants.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"value\": \"{}\"}}{}\n",
+            escape(name),
+            escape(value),
+            if i + 1 < doc_constants.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_clickable() {
+        let d = Diagnostic {
+            rule: "determinism",
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            message: "HashMap".into(),
+        };
+        assert_eq!(d.render(), "crates/core/src/x.rs:7: [determinism] HashMap");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let d = Diagnostic {
+            rule: "panic-freedom",
+            file: "a.rs".into(),
+            line: 1,
+            message: "call to `unwrap` (\"checked\")".into(),
+        };
+        let json = render_json(&[d], 2, 3, &[("BLOCK".into(), "64".into())]);
+        assert!(json.contains("\\\"checked\\\""));
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"waived\": 2"));
+        assert!(json.contains("\"BLOCK\""));
+    }
+}

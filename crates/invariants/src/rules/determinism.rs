@@ -1,0 +1,67 @@
+//! **determinism** — the parity tiers pin bit-identical results at any
+//! pool width; the cheapest way to lose that silently is iteration
+//! over a hash-ordered collection, or a wall-clock read feeding a
+//! result. In the result-affecting crates (`core`, `linalg`, `rfsim`,
+//! and the facade/CLI under `src/`) this rule flags `HashMap`,
+//! `HashSet`, `Instant` and `SystemTime` in non-test code. Ordered
+//! (`BTreeMap`/`BTreeSet`) or index-keyed (`Vec`) containers are the
+//! sanctioned replacements; genuinely order-insensitive uses take a
+//! waiver with the proof.
+
+use crate::report::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Rule identifier used in diagnostics and waivers.
+pub const RULE: &str = "determinism";
+
+/// Path prefixes of the result-affecting crates. `eval` and `bench`
+/// are intentionally excluded: wall-clock time *is* their output.
+const SCOPE: [&str; 4] = [
+    "crates/core/src/",
+    "crates/linalg/src/",
+    "crates/rfsim/src/",
+    "src/",
+];
+
+const BANNED: [(&str, &str); 4] = [
+    (
+        "HashMap",
+        "hash-ordered iteration is nondeterministic; use BTreeMap or an index-keyed Vec",
+    ),
+    (
+        "HashSet",
+        "hash-ordered iteration is nondeterministic; use BTreeSet or a sorted Vec",
+    ),
+    (
+        "Instant",
+        "wall-clock reads must not feed results; timing belongs in eval/bench",
+    ),
+    (
+        "SystemTime",
+        "wall-clock reads must not feed results; timing belongs in eval/bench",
+    ),
+];
+
+/// Runs the rule over the scoped crates.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        if !SCOPE.iter().any(|p| file.path.starts_with(p)) {
+            continue;
+        }
+        for (ident, off) in file.lex.idents() {
+            let Some(&(name, why)) = BANNED.iter().find(|&&(n, _)| n == ident) else {
+                continue;
+            };
+            let line = file.lex.line_of(off);
+            if file.lex.in_test(line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: RULE,
+                file: file.path.clone(),
+                line,
+                message: format!("`{name}` in a result-affecting crate: {why}"),
+            });
+        }
+    }
+}

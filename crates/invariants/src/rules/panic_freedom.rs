@@ -1,0 +1,59 @@
+//! **panic-freedom** — `core` and `linalg` are the library layers a
+//! fleet service links against; a panic there takes down every
+//! deployment in the process. Library-path code must return
+//! `CoreError`/`LinalgError` instead of calling `unwrap`/`expect` or
+//! the panicking macros. Provably-unreachable sites carry a waiver
+//! stating the proof; test code is exempt (asserting is its job).
+
+use crate::lexer::prev_code_byte;
+use crate::report::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Rule identifier used in diagnostics and waivers.
+pub const RULE: &str = "panic-freedom";
+
+/// Crates whose library paths must not panic.
+const SCOPE: [&str; 2] = ["crates/core/src/", "crates/linalg/src/"];
+
+/// Runs the rule over the scoped crates.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        if !SCOPE.iter().any(|p| file.path.starts_with(p)) {
+            continue;
+        }
+        let masked = file.lex.masked.as_bytes();
+        for (ident, off) in file.lex.idents() {
+            let line = file.lex.line_of(off);
+            if file.lex.in_test(line) {
+                continue;
+            }
+            let flagged = match ident {
+                // `.unwrap()` / `.expect(…)` method calls only: the
+                // leading dot distinguishes them from same-named
+                // helpers, and `unwrap_or`-style idents never match
+                // because the identifier comparison is exact.
+                "unwrap" | "expect" => prev_code_byte(&file.lex.masked, off) == Some(b'.'),
+                // Panicking macros: `panic!`, `unreachable!`, …
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    let mut j = off + ident.len();
+                    while j < masked.len() && masked[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    j < masked.len() && masked[j] == b'!'
+                }
+                _ => false,
+            };
+            if flagged {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`{ident}` in library-path code: return a structured error, or \
+                         waive with the unreachability proof"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! **parity-coverage** — the parity tiers are only a contract if every
+//! public kernel entry point actually flows through one. This rule
+//! collects every `pub fn` in the kernel layer
+//! (`linalg/src/kernels.rs`) and the operator façade
+//! (`linalg/src/ops.rs`) and requires each name to be referenced from
+//! at least one file under `crates/linalg/tests/` — the parity and
+//! property tiers. An entry point nobody pins is an entry point whose
+//! bit-exactness can silently rot.
+
+use crate::report::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Rule identifier used in diagnostics and waivers.
+pub const RULE: &str = "parity-coverage";
+
+/// Files whose `pub fn`s are kernel entry points.
+const ENTRY_FILES: [&str; 2] = ["crates/linalg/src/kernels.rs", "crates/linalg/src/ops.rs"];
+/// Directory whose test files count as parity-tier coverage.
+const TIER_DIR: &str = "crates/linalg/tests/";
+
+/// Collects `(name, line)` for every `pub fn` in masked code.
+fn pub_fns(masked: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let bytes = masked.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = masked[from..].find("pub fn ") {
+        let at = from + pos;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let mut i = at + "pub fn ".len();
+        let start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        if before_ok && i > start {
+            out.push((masked[start..i].to_string(), at));
+        }
+        from = i.max(at + 1);
+    }
+    out
+}
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let tier_files: Vec<_> = ws
+        .files
+        .iter()
+        .filter(|f| f.path.starts_with(TIER_DIR))
+        .collect();
+    for file in &ws.files {
+        if !ENTRY_FILES.contains(&file.path.as_str()) {
+            continue;
+        }
+        for (name, off) in pub_fns(&file.lex.masked) {
+            let line = file.lex.line_of(off);
+            if file.lex.in_test(line) {
+                continue;
+            }
+            let covered = tier_files
+                .iter()
+                .any(|t| t.lex.idents().any(|(ident, _)| ident == name));
+            if !covered {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: file.path.clone(),
+                    line,
+                    message: format!(
+                        "kernel entry point `pub fn {name}` is not referenced from any \
+                         parity-tier test under {TIER_DIR}"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_pub_fns() {
+        let fns = pub_fns("pub fn alpha() {}\nfn private() {}\npub(crate) fn hidden() {}\n");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].0, "alpha");
+    }
+}

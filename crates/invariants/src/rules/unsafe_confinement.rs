@@ -1,0 +1,98 @@
+//! **unsafe-confinement** — ARCHITECTURE.md confines `unsafe` to two
+//! places: the AVX microkernels in `linalg/src/kernels.rs` (the `simd`
+//! module, compiled only with the `simd` feature) and the rayon shim's
+//! task-pointer machinery. Everywhere else in the workspace `unsafe`
+//! is a violation outright; inside the sanctioned regions every
+//! `unsafe` block/impl/fn must carry a `// SAFETY:` justification in
+//! the comment block directly above it (or trailing on the same line).
+
+use crate::report::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Rule identifier used in diagnostics and waivers.
+pub const RULE: &str = "unsafe-confinement";
+
+/// The file whose `simd` module may hold `unsafe` code.
+const KERNELS: &str = "crates/linalg/src/kernels.rs";
+/// The shim whose task-pointer handoff may hold `unsafe` code.
+const RAYON_SHIM: &str = "crates/shims/rayon/src/lib.rs";
+
+/// Byte span of `mod simd { … }` in masked code, if present.
+fn mod_span(masked: &str, name: &str) -> Option<(usize, usize)> {
+    let needle = format!("mod {name}");
+    let mut from = 0;
+    while let Some(pos) = masked[from..].find(&needle) {
+        let at = from + pos;
+        let bytes = masked.as_bytes();
+        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        if before_ok {
+            // Find the opening brace and match it.
+            let mut i = at + needle.len();
+            while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'{' {
+                let open = i;
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((open, i + 1));
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+/// Runs the rule over the whole workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        let whole_file_allowed = file.path == RAYON_SHIM;
+        let simd_span = if file.path == KERNELS {
+            mod_span(&file.lex.masked, "simd")
+        } else {
+            None
+        };
+        for (ident, off) in file.lex.idents() {
+            if ident != "unsafe" {
+                continue;
+            }
+            let line = file.lex.line_of(off);
+            let confined =
+                whole_file_allowed || simd_span.is_some_and(|(a, b)| a <= off && off < b);
+            if !confined {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`unsafe` outside the confinement boundary ({KERNELS} `mod simd`, \
+                         {RAYON_SHIM}); see ARCHITECTURE.md \"Static analysis\""
+                    ),
+                });
+            } else if !file
+                .lex
+                .comment_above(line, |c| c.to_lowercase().contains("safety"))
+            {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    file: file.path.clone(),
+                    line,
+                    message: "`unsafe` without a `// SAFETY:` justification in the comment \
+                              block directly above it"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The inline waiver syntax.
+//!
+//! A diagnostic is waived by a comment on the flagged line, or in the
+//! contiguous comment block directly above it (attributes may sit in
+//! between):
+//!
+//! ```text
+//! // invariants: allow(panic-freedom) — guarded by the is_empty()
+//! // check two lines up, so last() cannot fail here.
+//! ```
+//!
+//! The reason is **mandatory**: a waiver without one does not suppress
+//! the diagnostic (the linter says so in the diagnostic it keeps). The
+//! rule name must match the diagnostic's rule exactly — a waiver for
+//! `determinism` never silences `panic-freedom`.
+
+use crate::lexer::Lexed;
+
+/// Outcome of looking for a waiver covering `rule` at `line`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Waiver {
+    /// No waiver comment found.
+    None,
+    /// A well-formed waiver with a reason: suppress the diagnostic.
+    Allowed,
+    /// `invariants: allow(...)` found but with no reason text: the
+    /// diagnostic stands, annotated.
+    MissingReason,
+}
+
+/// Parses one comment line for a waiver of `rule`.
+fn waiver_in(comment: &str, rule: &str) -> Option<bool> {
+    let at = comment.find("invariants:")?;
+    let rest = comment[at + "invariants:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    if rest[..close].trim() != rule {
+        return None;
+    }
+    let reason = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+        .trim();
+    Some(reason.len() >= 3)
+}
+
+/// Looks for a waiver of `rule` covering 1-based `line`.
+pub fn check(lexed: &Lexed, rule: &str, line: usize) -> Waiver {
+    let mut found = Waiver::None;
+    lexed.comment_above(line, |c| {
+        if let Some(with_reason) = waiver_in(c, rule) {
+            found = if with_reason {
+                Waiver::Allowed
+            } else {
+                Waiver::MissingReason
+            };
+            true // stop the walk at the first waiver mention
+        } else {
+            false
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn waiver_with_reason_allows() {
+        let src = "// invariants: allow(determinism) — keys are sorted before output\nuse x;\n";
+        let l = lex(src);
+        assert_eq!(check(&l, "determinism", 2), Waiver::Allowed);
+        assert_eq!(check(&l, "panic-freedom", 2), Waiver::None);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_flagged() {
+        let src = "// invariants: allow(determinism)\nuse x;\n";
+        let l = lex(src);
+        assert_eq!(check(&l, "determinism", 2), Waiver::MissingReason);
+    }
+
+    #[test]
+    fn trailing_waiver_on_same_line() {
+        let src =
+            "use x; // invariants: allow(determinism) - CLI flag table, order never printed\n";
+        let l = lex(src);
+        assert_eq!(check(&l, "determinism", 1), Waiver::Allowed);
+    }
+
+    #[test]
+    fn ascii_dash_separator_accepted() {
+        let src = "// invariants: allow(panic-freedom) - provably non-empty\nx.unwrap();\n";
+        let l = lex(src);
+        assert_eq!(check(&l, "panic-freedom", 2), Waiver::Allowed);
+    }
+}

@@ -1,0 +1,86 @@
+//! Workspace discovery: collecting the Rust sources (and the
+//! architecture book) the rules run over.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed};
+
+/// One source file, lexed once at load time.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (rules scope on it).
+    pub path: String,
+    /// Raw text.
+    pub text: String,
+    /// Lexer output.
+    pub lex: Lexed,
+}
+
+impl SourceFile {
+    /// Builds a source file from a path and its contents (the tests
+    /// use this to run rules over fixture text under synthetic paths).
+    pub fn new(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            lex: lex(text),
+            text: text.to_string(),
+        }
+    }
+}
+
+/// Everything a lint run looks at.
+pub struct Workspace {
+    /// All collected `.rs` files.
+    pub files: Vec<SourceFile>,
+    /// `ARCHITECTURE.md` contents, if present.
+    pub arch_md: Option<String>,
+}
+
+/// Directory names never descended into. `fixtures` holds the
+/// deliberately-violating test inputs of this crate; linting them
+/// would defeat their purpose.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort(); // deterministic file order → deterministic output
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Collects every `.rs` file under `root` (skipping build output and
+/// fixtures) plus `ARCHITECTURE.md`, ready for analysis.
+pub fn collect(root: &Path) -> io::Result<Workspace> {
+    let mut paths = Vec::new();
+    walk(root, &mut paths)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::new(&rel, &text));
+    }
+    let arch_md = fs::read_to_string(root.join("ARCHITECTURE.md")).ok();
+    Ok(Workspace { files, arch_md })
+}

@@ -1,0 +1,11 @@
+//! Fixture: a hand-rolled dense multiply that bypasses the kernels.
+
+pub fn naive_matmul(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            for p in 0..k {
+                c[i * n + j] += a[i * k + p] * b[p * n + j];
+            }
+        }
+    }
+}

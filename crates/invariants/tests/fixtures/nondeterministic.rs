@@ -1,0 +1,12 @@
+//! Fixture: iteration-order-dependent container in a result-affecting
+//! crate.
+
+use std::collections::HashMap;
+
+pub fn distinct(words: &[&str]) -> usize {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for w in words {
+        *seen.entry(w).or_default() += 1;
+    }
+    seen.len()
+}

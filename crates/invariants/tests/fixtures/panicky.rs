@@ -1,0 +1,16 @@
+//! Fixture: panic paths in core library code, with waiver variants.
+
+pub fn plain(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn unreasoned(x: Option<u32>) -> u32 {
+    // invariants: allow(panic-freedom)
+    x.expect("the waiver above has no reason, so this still fails")
+}
+
+pub fn reasoned(x: Option<u32>) -> u32 {
+    // invariants: allow(panic-freedom) — fixture: a well-formed
+    // waiver with a reason suppresses the diagnostic.
+    x.expect("waived with a reason")
+}

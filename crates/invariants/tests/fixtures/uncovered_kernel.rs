@@ -1,0 +1,5 @@
+//! Fixture: a public kernel entry point no parity tier references.
+
+pub fn uncovered_kernel(a: &[f64]) -> f64 {
+    a.iter().sum()
+}

@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block outside the two sanctioned homes.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the linter's lexer: arbitrary interleavings of
+//! code, line/block comments, strings and raw strings must mask
+//! exactly the non-code bytes (newlines preserved) and classify each
+//! region with the right [`Kind`].
+
+use invariants::lexer::{lex, Kind};
+use proptest::prelude::*;
+
+/// One source fragment with a known classification.
+#[derive(Clone, Debug)]
+enum Frag {
+    /// `word;` — survives masking verbatim.
+    Code(&'static str),
+    /// `// text`
+    Line(&'static str),
+    /// `/*…/* text */…*/` at the given nesting depth.
+    Block(&'static str, usize),
+    /// `"text";`
+    Str(&'static str),
+    /// `r#…"text"#…;` with the given hash count.
+    RawStr(&'static str, usize),
+}
+
+/// Identifier pool for code fragments. None is a bare `r` or `b`, so a
+/// following string fragment can never fuse into a raw/byte string.
+const WORDS: [&str; 6] = ["alpha", "beta_7", "x", "loop_var", "qq", "z9"];
+/// Payload pool: no `/`, `*`, `"`, `#` or quotes, so payloads cannot
+/// terminate (or nest into) the delimiters that carry them.
+const TEXTS: [&str; 6] = ["", "plain text", "0 1 2", "payload", "a b c d", "zz 99"];
+
+fn frag_strategy() -> impl Strategy<Value = Frag> {
+    prop_oneof![
+        (0..WORDS.len()).prop_map(|w| Frag::Code(WORDS[w])),
+        (0..TEXTS.len()).prop_map(|t| Frag::Line(TEXTS[t])),
+        (0..TEXTS.len(), 1..3usize).prop_map(|(t, d)| Frag::Block(TEXTS[t], d)),
+        (0..TEXTS.len()).prop_map(|t| Frag::Str(TEXTS[t])),
+        (0..TEXTS.len(), 1..3usize).prop_map(|(t, h)| Frag::RawStr(TEXTS[t], h)),
+    ]
+}
+
+/// Renders a fragment to source text plus its expected span kind
+/// (`None` for plain code).
+fn render(f: &Frag) -> (String, Option<Kind>) {
+    match f {
+        Frag::Code(w) => (format!("{w};\n"), None),
+        Frag::Line(t) => (format!("// {t}\n"), Some(Kind::LineComment)),
+        Frag::Block(t, d) => {
+            let open = "/*".repeat(*d);
+            let close = "*/".repeat(*d);
+            (format!("{open} {t} {close}\n"), Some(Kind::BlockComment))
+        }
+        Frag::Str(t) => (format!("\"{t}\";\n"), Some(Kind::Str)),
+        Frag::RawStr(t, h) => {
+            let hashes = "#".repeat(*h);
+            (format!("r{hashes}\"{t}\"{hashes};\n"), Some(Kind::RawStr))
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn masking_round_trips_fragment_construction(
+        frags in prop::collection::vec(frag_strategy(), 0..24)
+    ) {
+        let rendered: Vec<(String, Option<Kind>)> = frags.iter().map(render).collect();
+        let src: String = rendered.iter().map(|(s, _)| s.as_str()).collect();
+        let lexed = lex(&src);
+        // Masking preserves length and every newline position.
+        prop_assert_eq!(lexed.masked.len(), src.len());
+        for (a, b) in lexed.masked.bytes().zip(src.bytes()) {
+            prop_assert_eq!(a == b'\n', b == b'\n');
+        }
+        let mut off = 0usize;
+        for (text, kind) in &rendered {
+            let bytes = &lexed.masked.as_bytes()[off..off + text.len()];
+            match kind {
+                // Code fragments survive byte-for-byte.
+                None => prop_assert_eq!(bytes, text.as_bytes()),
+                Some(k) => {
+                    // A span of the constructed kind starts exactly at
+                    // the fragment's first delimiter byte.
+                    prop_assert!(
+                        lexed.spans.iter().any(|s| s.start == off && s.kind == *k),
+                        "no {k:?} span at offset {off}"
+                    );
+                    // Everything except the code tail (`;` for the
+                    // string forms) and the newline is masked out.
+                    let tail = match k {
+                        Kind::Str | Kind::RawStr => 2,
+                        _ => 1,
+                    };
+                    for &b in &bytes[..text.len() - tail] {
+                        prop_assert_eq!(b, b' ');
+                    }
+                    prop_assert_eq!(bytes[text.len() - 1], b'\n');
+                }
+            }
+            off += text.len();
+        }
+    }
+}

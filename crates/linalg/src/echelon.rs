@@ -59,6 +59,9 @@ impl Matrix {
             let (best_row, best_val) = (pivot_row..m)
                 .map(|i| (i, work[(i, col)].abs()))
                 .max_by(|a, b| a.1.total_cmp(&b.1))
+                // invariants: allow(panic-freedom) — `pivot_row < m`
+                // is guaranteed by the break above, so the row range
+                // is non-empty.
                 .expect("non-empty row range");
             if best_val <= threshold {
                 continue; // dependent column

@@ -202,6 +202,8 @@ macro_rules! dispatch_k {
             14 => $kernel::<14, $($ph),*>($($args),*),
             15 => $kernel::<15, $($ph),*>($($args),*),
             16 => $kernel::<16, $($ph),*>($($args),*),
+            // invariants: allow(panic-freedom) — every call site
+            // guards on k <= TINY_INNER_MAX before dispatching.
             _ => unreachable!("tiny-inner dispatch requires k <= TINY_INNER_MAX"),
         }
     };
@@ -302,6 +304,8 @@ fn tiny_row<const K: usize>(c: &[f64; K], b: &[&[f64]; K], orow: &mut [f64], acc
             (0.0, 0.0, 0.0, 0.0)
         };
         for (&cp, bp) in c.iter().zip(b) {
+            // invariants: allow(panic-freedom) — the range is exactly
+            // 4 wide, so the array conversion cannot fail.
             let bq: &[f64; 4] = bp[j..j + 4].try_into().expect("4-wide chunk");
             s0 += cp * bq[0];
             s1 += cp * bq[1];
@@ -368,6 +372,8 @@ where
         ];
         let mut acc = [[0.0_f64; N]; 4];
         for p in 0..k {
+            // invariants: allow(panic-freedom) — the range is exactly
+            // N wide, so the array conversion cannot fail.
             let brow: &[f64; N] = b_row(p)[..N].try_into().expect("N-wide row");
             for (accr, ar) in acc.iter_mut().zip(&a4) {
                 let aip = ar[p];
@@ -385,6 +391,8 @@ where
         let arow = &a_row(i)[..k];
         let mut acc = [0.0_f64; N];
         for (p, &aip) in arow.iter().enumerate() {
+            // invariants: allow(panic-freedom) — the range is exactly
+            // N wide, so the array conversion cannot fail.
             let brow: &[f64; N] = b_row(p)[..N].try_into().expect("N-wide row");
             for (s, &bv) in acc.iter_mut().zip(brow) {
                 *s += aip * bv;
@@ -590,6 +598,10 @@ mod simd {
         unsafe { tiny_row_avx_inner(c, b, orow, accumulate) }
     }
 
+    // SAFETY contract: `#[target_feature]` makes this fn unsafe to
+    // call — callers must have verified `avx_available()` first (the
+    // safe wrapper above does). All pointer arithmetic stays inside
+    // the slice bounds its debug asserts and the `while` guards check.
     #[target_feature(enable = "avx")]
     unsafe fn tiny_row_avx_inner(c: &[f64], b: &[&[f64]], orow: &mut [f64], accumulate: bool) {
         let n = orow.len();

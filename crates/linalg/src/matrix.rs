@@ -40,6 +40,8 @@ impl Matrix {
         Matrix {
             rows,
             cols,
+            // invariants: allow(panic-freedom) — documented `# Panics`
+            // allocation-size guard; real shapes never overflow usize.
             data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")],
         }
     }

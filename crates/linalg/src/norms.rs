@@ -45,6 +45,8 @@ impl Matrix {
     /// for finite inputs within the generous default sweep budget.
     pub fn nuclear_norm(&self) -> f64 {
         self.singular_values()
+            // invariants: allow(panic-freedom) — documented `# Panics`
+            // API: finite inputs converge within the sweep budget.
             .expect("SVD of a finite matrix should converge")
             .iter()
             .sum()
@@ -58,6 +60,8 @@ impl Matrix {
     /// converge).
     pub fn spectral_norm(&self) -> f64 {
         self.singular_values()
+            // invariants: allow(panic-freedom) — documented `# Panics`
+            // API: finite inputs converge within the sweep budget.
             .expect("SVD of a finite matrix should converge")
             .first()
             .copied()

@@ -81,6 +81,8 @@ impl Matrix {
         let n = self.cols();
         let mut g = Matrix::zeros(n, n);
         self.gram_into(&mut g)
+            // invariants: allow(panic-freedom) — the output was sized
+            // `cols x cols` on the line above; no error path remains.
             .expect("gram_into with a freshly sized output cannot fail");
         g
     }
@@ -132,6 +134,8 @@ impl Add for &Matrix {
     /// the mismatch as an error.
     fn add(self, rhs: &Matrix) -> Matrix {
         self.checked_add(rhs)
+            // invariants: allow(panic-freedom) — documented `# Panics`
+            // operator; `checked_add` is the fallible path.
             .expect("matrix addition shape mismatch")
     }
 }
@@ -145,6 +149,8 @@ impl Sub for &Matrix {
     /// the mismatch as an error.
     fn sub(self, rhs: &Matrix) -> Matrix {
         self.checked_sub(rhs)
+            // invariants: allow(panic-freedom) — documented `# Panics`
+            // operator; `checked_sub` is the fallible path.
             .expect("matrix subtraction shape mismatch")
     }
 }
@@ -157,6 +163,8 @@ impl Mul for &Matrix {
     /// Panics if the inner dimensions differ; use [`Matrix::matmul`] to
     /// handle the mismatch as an error.
     fn mul(self, rhs: &Matrix) -> Matrix {
+        // invariants: allow(panic-freedom) — documented `# Panics`
+        // operator; `matmul` is the fallible path.
         self.matmul(rhs).expect("matrix product shape mismatch")
     }
 }

@@ -195,6 +195,8 @@ impl Matrix {
                 .enumerate()
                 .skip(step)
                 .max_by(|a, b| a.1.total_cmp(b.1))
+                // invariants: allow(panic-freedom) — `skip(step)` of
+                // a k-length list with step < k is never empty.
                 .expect("non-empty residual list");
             if pivot_norm <= 0.0 {
                 break;
@@ -317,7 +319,7 @@ impl Matrix {
         let mut sorted = seed.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        if sorted.len() != k || *sorted.last().expect("non-empty") >= n {
+        if sorted.len() != k || sorted.last().is_some_and(|&c| c >= n) {
             return Err(LinalgError::InvalidArgument(
                 "seed columns must be unique and in range",
             ));
@@ -348,6 +350,8 @@ impl Matrix {
                 .enumerate()
                 .skip(step)
                 .max_by(|a, b| a.1.total_cmp(b.1))
+                // invariants: allow(panic-freedom) — `skip(step)` of
+                // a k-length list with step < k is never empty.
                 .expect("non-empty residual list");
             if pivot != step {
                 let (a, b) = workt.rows_pair_mut(step, pivot);
@@ -575,6 +579,9 @@ impl PivotedQr {
             // Qᵀ C as one blocked matmul (classical Gram-Schmidt
             // coefficients; the margin absorbs the CGS/MGS difference).
             let qt = self.q.transpose();
+            // invariants: allow(panic-freedom) — `new_cols.rows() == m`
+            // was checked at the top of this method, and `qt` has m
+            // columns by construction.
             qt.matmul(new_cols).expect("shapes checked by caller")
         };
         let mut coeff: Vec<Vec<f64>> = vec![vec![0.0; extra]; self.chain];
@@ -633,7 +640,7 @@ impl PivotedQr {
                 "removed columns must be non-empty and unique",
             ));
         }
-        if *sorted.last().expect("non-empty") >= n_old {
+        if sorted.last().is_some_and(|&c| c >= n_old) {
             return Err(LinalgError::InvalidArgument("removed column out of range"));
         }
         if sorted.len() == n_old {

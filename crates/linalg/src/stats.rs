@@ -101,6 +101,8 @@ impl Ecdf {
     /// the sample range — ready to plot as a CDF curve.
     pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
         let lo = self.values[0];
+        // invariants: allow(panic-freedom) — the constructor asserts
+        // a non-empty sample set, so `values` is never empty.
         let hi = *self.values.last().expect("non-empty");
         if n <= 1 || hi == lo {
             return vec![(hi, 1.0)];

@@ -252,6 +252,31 @@ proptest! {
     }
 
     #[test]
+    fn sub_of_add_roundtrips(m in matrix_strategy(6), scale in -3.0f64..3.0) {
+        let n = m.scale(scale);
+        let back = m.checked_add(&n).unwrap().checked_sub(&n).unwrap();
+        prop_assert!(back.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn hadamard_with_ones_is_identity(m in matrix_strategy(6)) {
+        let ones = iupdater_linalg::Matrix::filled(m.rows(), m.cols(), 1.0);
+        prop_assert_eq!(m.hadamard(&ones).unwrap(), m.clone());
+        // Element-wise product commutes.
+        let n = m.map(|x| x.cos());
+        prop_assert_eq!(m.hadamard(&n).unwrap(), n.hadamard(&m).unwrap());
+    }
+
+    #[test]
+    fn dot_matches_one_cell_matmul(v in prop::collection::vec(-5.0f64..5.0, 1..12)) {
+        let row = iupdater_linalg::Matrix::from_vec(1, v.len(), v.clone()).unwrap();
+        let col = iupdater_linalg::Matrix::from_vec(v.len(), 1, v.clone()).unwrap();
+        let product = row.matmul(&col).unwrap();
+        // Both sides sum in ascending index order, so this is exact.
+        prop_assert_eq!(product[(0, 0)], iupdater_linalg::Matrix::dot(&v, &v));
+    }
+
+    #[test]
     fn low_rank_approx_error_decreases_with_rank(m in matrix_strategy(6)) {
         let k = m.rows().min(m.cols());
         let mut prev = f64::INFINITY;

@@ -296,7 +296,9 @@ impl Testbed {
     /// Returns one trace per requested cell, as the rows of a
     /// `cells.len() x n` matrix.
     pub fn synced_traces(&self, cells: &[(usize, usize)], day: f64, n: usize) -> Matrix {
-        let mut link_noise: std::collections::HashMap<usize, NoiseProcess> = cells
+        // BTreeMap keeps per-link iteration in link order, so trace
+        // generation is deterministic across runs and platforms.
+        let mut link_noise: std::collections::BTreeMap<usize, NoiseProcess> = cells
             .iter()
             .map(|&(i, _)| {
                 // Jitter-only process (bursts are handled shared, below).

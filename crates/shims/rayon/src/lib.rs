@@ -134,9 +134,17 @@ where
 /// worker can enter it, and (b) every worker that entered has left.
 struct TaskPtr(*const (dyn Fn() + Sync + 'static));
 
-// SAFETY: the pointee is `Sync` (shared calls are safe) and the
-// submission protocol above bounds its lifetime around all uses.
+// SAFETY: sending the raw pointer to worker threads is sound because
+// the pointee outlives every use of it: `Pool::run` keeps the closure
+// alive on the submitting thread's stack and does not return until the
+// job slot is withdrawn and every worker that entered has left
+// (close-then-drain), so no worker can hold the pointer past the
+// pointee's lifetime.
 unsafe impl Send for TaskPtr {}
+// SAFETY: several workers call the pointee concurrently through
+// shared references, which is exactly what its `dyn Fn() + Sync`
+// bound permits; validity of the pointer itself is bounded by the same
+// close-then-drain protocol as for `Send` above.
 unsafe impl Sync for TaskPtr {}
 
 /// Per-job bookkeeping: how many workers entered / left the job.

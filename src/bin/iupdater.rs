@@ -3,7 +3,7 @@
 //! lives in [`iupdater::cli`]; this binary only parses arguments and
 //! does file I/O.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::process::ExitCode;
 
@@ -15,7 +15,7 @@ fn main() -> ExitCode {
         eprintln!("{}", cli::usage());
         return ExitCode::from(2);
     };
-    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut flags: BTreeMap<String, String> = BTreeMap::new();
     let mut key: Option<String> = None;
     for a in args {
         if let Some(stripped) = a.strip_prefix("--") {

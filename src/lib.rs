@@ -54,7 +54,11 @@
 //!
 //! The full map — including the drift-tolerance fallback rule, the
 //! parity-tier test strategy and the v1/v2/v3 snapshot lineage — lives
-//! in `ARCHITECTURE.md` at the repository root.
+//! in `ARCHITECTURE.md` at the repository root. Its § "Static
+//! analysis" is machine-checked: `cargo run -p invariants` lints the
+//! tree against the book's invariants (unsafe confinement,
+//! determinism, panic freedom, kernel routing, doc drift, parity
+//! coverage) and CI fails on any violation.
 //!
 //! # Quickstart
 //!
