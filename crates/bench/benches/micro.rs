@@ -420,9 +420,11 @@ fn bench_warm_start(c: &mut Criterion) {
     // selection — the certified fast path re-pivots without the greedy
     // sweep (the setup asserts this scenario really certifies).
     // "Shifted": the day-0-anchored engine is re-anchored on the first
-    // reconstruction, whose selection differs — the warm start pays
-    // the certification attempt and falls back, so this measures the
-    // fast path's worst case.
+    // reconstruction, where near-tied columns make the from-scratch
+    // greedy flicker. The tie-set certificate recognises the incumbent
+    // selection as a tie-set member and keeps it (the setup asserts
+    // this), so the warm path stays fast where it previously paid a
+    // failed sweep and fell back.
     let t = Testbed::new(Environment::office(), 1);
     let day0 = FingerprintMatrix::survey(&t, 0.0, 20);
     let e0 = Updater::new(day0.clone(), UpdaterConfig::default()).unwrap();
@@ -440,7 +442,10 @@ fn bench_warm_start(c: &mut Criterion) {
         let upd0 = sel0
             .update(c1.matrix(), Default::default(), e0.config().rank_tol)
             .unwrap();
-        assert!(!upd0.reused, "shifted scenario must fall back");
+        assert!(
+            upd0.reused,
+            "shifted scenario must tie-certify the incumbent selection"
+        );
     }
     group.bench_function("rebase_cold_stable_8x96", |b| {
         b.iter(|| Updater::new(c2.clone(), UpdaterConfig::default()).unwrap())
@@ -456,9 +461,11 @@ fn bench_warm_start(c: &mut Criterion) {
     });
 
     // The 32x1536 scaled office (ROADMAP item): day-0 construction and
-    // the natural rebase transition (which at this size shifts a few
-    // near-tied locations, so the warm start falls back — its honest
-    // large-scale worst case).
+    // the natural rebase transition. At this size a few locations are
+    // near-tied and used to flicker, making the warm start pay a failed
+    // certification sweep and fall back (the PR3-era ~20% regression);
+    // the tie-set certificate now keeps the incumbent selection, so the
+    // warm path must come in no slower than from-scratch here.
     let big_env = iupdater_eval::ext_scale::scaled_office(4);
     let bt = Testbed::new(big_env, 2);
     let big0 = FingerprintMatrix::survey(&bt, 0.0, 5);

@@ -74,14 +74,20 @@ pub fn extract_mic(x: &Matrix, method: MicMethod, rank_tol: f64) -> Result<MicSe
 /// full extraction ran (fallback).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MicUpdate {
-    /// The refreshed selection — always exactly what
-    /// [`extract_mic`] would return on the new matrix.
+    /// The refreshed selection. When `reused` is `false` this is
+    /// exactly what [`extract_mic`] would return on the new matrix;
+    /// when `reused` is `true` it keeps the *previous* locations,
+    /// which are certified tie-equivalent to a fresh extraction —
+    /// same rank, same certified subspace, possibly different indices
+    /// among near-tied columns (see
+    /// [`iupdater_linalg::Matrix::certify_pivot_seed`]). Keeping the
+    /// previous set is deliberate: downstream reference locations stay
+    /// stable instead of flickering between tie-set members.
     pub selection: MicSelection,
     /// `true` when the previous pivot set was certified against the
     /// new matrix and reused; `false` when the selection was
     /// re-extracted from scratch (the previous set no longer survives
-    /// greedy pivoting, or a pivot decision fell inside the drift
-    /// margin).
+    /// greedy pivoting even up to ties).
     pub reused: bool,
 }
 
@@ -96,15 +102,20 @@ impl MicSelection {
     /// against this selection's locations.
     ///
     /// Fast path: [`Matrix::certify_pivot_seed`] proves that greedy
-    /// column-pivoted QR on `x_new` would select exactly these
-    /// locations, skipping the full greedy sweep. Certification uses
-    /// the [`iupdater_linalg::qr::PIVOT_DRIFT_TOL`] dominance margin —
-    /// the drift-tolerance fallback rule: any pivot decision closer
-    /// than the margin is ambiguous and forces the fallback. When
-    /// certification fails, the selection is recomputed by
-    /// [`extract_mic`], so the result is *always* identical to a
-    /// from-scratch extraction (the fast path only ever changes cost,
-    /// never the answer).
+    /// column-pivoted QR on `x_new` would select these locations — or
+    /// a tie-equivalent set — skipping the full greedy sweep.
+    /// Certification uses the
+    /// [`iupdater_linalg::qr::PIVOT_DRIFT_TOL`] dominance margin; a
+    /// decision inside the margin is admitted only when the challenger
+    /// is a certified tie-set member (the
+    /// [`iupdater_linalg::qr::PIVOT_TIE_TOL`] window plus span
+    /// containment), in which case the *previous* locations are kept
+    /// so reference sets stay stable while near-tied columns flicker.
+    /// When certification fails, the selection is recomputed by
+    /// [`extract_mic`]. Either way the result has the rank and spans
+    /// the certified subspace of a from-scratch extraction — the fast
+    /// path changes cost and tie-breaking, never the represented
+    /// space.
     ///
     /// [`MicMethod::Echelon`] has no certified fast path and always
     /// falls back.
@@ -152,8 +163,10 @@ pub(crate) fn update_selection(
         let certified =
             x_new.certify_pivot_seed(locations, rank_tol, iupdater_linalg::qr::PIVOT_DRIFT_TOL)?;
         if certified.is_some() {
-            // The certified chain set equals `locations` as a set;
-            // `extract_mic` reports locations sorted ascending.
+            // Keep the previous set (sorted, as `extract_mic` reports
+            // locations): under ties a fresh greedy might pick other
+            // tie-set members, and keeping the incumbents is what
+            // stops reference sets flickering day to day.
             let mut locations = locations.to_vec();
             locations.sort_unstable();
             let vectors = x_new.select_cols(&locations);

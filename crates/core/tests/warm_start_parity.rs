@@ -4,16 +4,31 @@
 //! [`Updater::warm_start`] — re-certifying the previous MIC pivot set
 //! instead of re-running the full greedy sweep, and skipping LRR
 //! re-learning when the exactness certificate applies. These tests pin
-//! the contract that makes the fast path safe: across fleet
-//! configurations, the warm-started engine and every database it
-//! subsequently commits must stay within `1e-9` of what a from-scratch
-//! `Updater::new` on the same rebased prior produces — including after
-//! a snapshot/restore round trip through the v3 on-disk format (whose
-//! recorded warm-start basis is restore's fast path).
+//! the contract that makes the fast path safe, in its tie-set-aware
+//! form:
+//!
+//! - **Unambiguous pivots**: the warm-started engine and every database
+//!   it subsequently commits stay within `1e-9` of what a from-scratch
+//!   [`Updater::new`] on the same rebased prior produces.
+//! - **Tied pivots**: when near-tied columns make the from-scratch
+//!   greedy flicker, the warm path keeps the *previous* reference set —
+//!   but only because the tie-set certificate (`certify_pivot_seed`)
+//!   vouched for it on the new prior. The kept engine must then agree
+//!   with a from-scratch construction *pinned to the same selection*:
+//!   same rank, a certified seed, a correlation within `1e-9` of the
+//!   from-scratch LRR fit, and all subsequently committed databases
+//!   within `1e-9` of that control.
+//!
+//! Both branches survive a snapshot/restore round trip through the v3
+//! on-disk format (whose recorded warm-start basis is restore's fast
+//! path).
 
+use iupdater_core::correlation::{correlation_matrix, CorrelationMethod};
 use iupdater_core::persist::{read_service, write_service};
 use iupdater_core::prelude::*;
+use iupdater_core::service::MeasurementBatch;
 use iupdater_core::{CouplingMode, ScalingMode};
+use iupdater_linalg::qr::PIVOT_DRIFT_TOL;
 use iupdater_rfsim::{Environment, Testbed};
 
 /// The fleet configurations under test (environment, testbed seed,
@@ -69,6 +84,70 @@ fn configurations() -> Vec<(&'static str, Environment, u64, UpdaterConfig)> {
 
 const PARITY_TOL: f64 = 1e-9;
 
+/// Assert the warm/cold parity contract on a freshly rebased engine
+/// and return the from-scratch control it must track from here on:
+/// `cold` itself when the pivots were unambiguous, or a from-scratch
+/// engine pinned to the tie-kept selection otherwise.
+fn parity_control(
+    name: &str,
+    prev_refs: &[usize],
+    prior: &FingerprintMatrix,
+    warm: &Updater,
+    cold: Updater,
+) -> Updater {
+    assert_eq!(
+        warm.reference_locations().len(),
+        cold.reference_locations().len(),
+        "{name}: warm and cold must agree on rank"
+    );
+    if warm.reference_locations() == cold.reference_locations() {
+        // Unambiguous pivots: the fast path is numerically the slow
+        // path.
+        assert!(
+            warm.correlation().approx_eq(cold.correlation(), PARITY_TOL),
+            "{name}: warm correlation drifted past {PARITY_TOL}"
+        );
+        cold
+    } else {
+        // Tied pivots: the selection may legitimately diverge, but only
+        // into the tie-kept previous set, and only with a certificate.
+        assert_eq!(
+            warm.reference_locations(),
+            prev_refs,
+            "{name}: a diverging warm selection must be the tie-kept previous set"
+        );
+        assert!(
+            prior
+                .matrix()
+                .certify_pivot_seed(
+                    warm.seed_locations(),
+                    warm.config().rank_tol,
+                    PIVOT_DRIFT_TOL
+                )
+                .unwrap()
+                .is_some(),
+            "{name}: tie-kept seed must certify against the rebased prior"
+        );
+        // From-scratch-given-the-selection parity: the kept correlation
+        // must be exactly what a cold LRR fit pinned to the same
+        // locations would learn from the rebased prior.
+        let vectors = prior.matrix().select_cols(warm.reference_locations());
+        let z = correlation_matrix(&vectors, prior.matrix(), CorrelationMethod::default()).unwrap();
+        assert!(
+            warm.correlation().approx_eq(&z, PARITY_TOL),
+            "{name}: tie-kept correlation must match the from-scratch fit on the same selection"
+        );
+        Updater::from_basis(
+            prior.clone(),
+            warm.config().clone(),
+            warm.reference_locations().to_vec(),
+            z,
+            warm.seed_locations().to_vec(),
+        )
+        .unwrap()
+    }
+}
+
 #[test]
 fn warm_rebase_matches_from_scratch_across_configurations() {
     for (name, env, seed, cfg) in configurations() {
@@ -80,25 +159,18 @@ fn warm_rebase_matches_from_scratch_across_configurations() {
         service.run_cycle(45.0, 5).unwrap();
 
         // From-scratch control on the exact prior the rebase will use.
+        let prev_refs = service.updater(id).unwrap().reference_locations().to_vec();
         let rebased_prior = service.fingerprint(id).unwrap().clone();
         let cold = Updater::new(rebased_prior.clone(), cfg.clone()).unwrap();
 
         service.rebase(id).unwrap();
         let warm = service.updater(id).unwrap();
+        let control = parity_control(name, &prev_refs, &rebased_prior, warm, cold);
 
-        assert_eq!(
-            warm.reference_locations(),
-            cold.reference_locations(),
-            "{name}: warm rebase must select the same reference locations"
-        );
-        assert!(
-            warm.correlation().approx_eq(cold.correlation(), PARITY_TOL),
-            "{name}: warm correlation drifted past {PARITY_TOL}"
-        );
-
-        // The next committed database must match a from-scratch update.
+        // The next committed database must match a from-scratch update
+        // on the agreed selection.
         service.run_cycle(90.0, 5).unwrap();
-        let control = cold
+        let control_db = control
             .update_from_testbed(service.testbed(id).unwrap(), 90.0, 5)
             .unwrap();
         assert!(
@@ -106,7 +178,7 @@ fn warm_rebase_matches_from_scratch_across_configurations() {
                 .fingerprint(id)
                 .unwrap()
                 .matrix()
-                .approx_eq(control.matrix(), PARITY_TOL),
+                .approx_eq(control_db.matrix(), PARITY_TOL),
             "{name}: post-rebase database drifted past {PARITY_TOL}"
         );
     }
@@ -120,6 +192,7 @@ fn warm_rebase_parity_survives_snapshot_restore() {
             .register(name, Testbed::new(env, seed), cfg.clone(), 10)
             .unwrap();
         service.run_cycle(15.0, 5).unwrap();
+        let prev_refs = service.updater(id).unwrap().reference_locations().to_vec();
         service.rebase(id).unwrap();
 
         // Kill the fleet right after the rebase; the snapshot records
@@ -135,25 +208,21 @@ fn warm_rebase_parity_survives_snapshot_restore() {
         let mut restored = UpdateService::restore(&snap).unwrap();
         let rid = restored.ids()[0];
 
-        // From-scratch control on the restored prior.
-        let cold =
-            Updater::new(restored.updater(rid).unwrap().prior().clone(), cfg.clone()).unwrap();
-        assert_eq!(
-            restored.updater(rid).unwrap().reference_locations(),
-            cold.reference_locations(),
-            "{name}: restored engine reference set differs from from-scratch"
-        );
-        assert!(
-            restored
-                .updater(rid)
-                .unwrap()
-                .correlation()
-                .approx_eq(cold.correlation(), PARITY_TOL),
-            "{name}: restored correlation drifted past {PARITY_TOL}"
+        // From-scratch control on the restored prior. A tie-kept
+        // selection must survive the round trip as exactly the
+        // pre-rebase reference set.
+        let restored_prior = restored.updater(rid).unwrap().prior().clone();
+        let cold = Updater::new(restored_prior.clone(), cfg.clone()).unwrap();
+        let control = parity_control(
+            name,
+            &prev_refs,
+            &restored_prior,
+            restored.updater(rid).unwrap(),
+            cold,
         );
 
         restored.run_cycle(45.0, 5).unwrap();
-        let control = cold
+        let control_db = control
             .update_from_testbed(restored.testbed(rid).unwrap(), 45.0, 5)
             .unwrap();
         assert!(
@@ -161,7 +230,7 @@ fn warm_rebase_parity_survives_snapshot_restore() {
                 .fingerprint(rid)
                 .unwrap()
                 .matrix()
-                .approx_eq(control.matrix(), PARITY_TOL),
+                .approx_eq(control_db.matrix(), PARITY_TOL),
             "{name}: post-restore database drifted past {PARITY_TOL}"
         );
     }
@@ -209,7 +278,11 @@ fn rebase_heavy_campaign_stays_on_parity() {
     // A whole fleet rebased after every cycle, against a control fleet
     // whose engines are rebuilt from scratch at the same points. This
     // is the paper's long-campaign shape: the correlation anchor is
-    // periodically re-learned from the freshest database.
+    // periodically re-learned from the freshest database. When a
+    // rebase hits a pivot tie, the control engine re-anchors to a
+    // from-scratch construction pinned to the tie-kept selection (see
+    // `parity_control`), so the database comparison keeps running on
+    // the agreed selection for the rest of the campaign.
     let mut warm_fleet = UpdateService::new();
     let mut cold_engines: Vec<Updater> = Vec::new();
     let mut cold_dbs: Vec<FingerprintMatrix> = Vec::new();
@@ -241,14 +314,88 @@ fn rebase_heavy_campaign_stays_on_parity() {
                     .approx_eq(cold_dbs[i].matrix(), PARITY_TOL),
                 "cycle {k}: deployment {i} drifted past {PARITY_TOL}"
             );
+            let prev_refs = warm_fleet
+                .updater(id)
+                .unwrap()
+                .reference_locations()
+                .to_vec();
             warm_fleet.rebase(id).unwrap();
-            cold_engines[i] =
-                Updater::new(cold_dbs[i].clone(), cold_engines[i].config().clone()).unwrap();
-            assert_eq!(
-                warm_fleet.updater(id).unwrap().reference_locations(),
-                cold_engines[i].reference_locations(),
-                "cycle {k}: deployment {i} reference sets diverged"
+            let cold = Updater::new(cold_dbs[i].clone(), cold_engines[i].config().clone()).unwrap();
+            cold_engines[i] = parity_control(
+                &format!("cycle {k}, deployment {i}"),
+                &prev_refs,
+                warm_fleet.fingerprint(id).unwrap(),
+                warm_fleet.updater(id).unwrap(),
+                cold,
             );
         }
     }
+}
+
+#[test]
+fn flickering_fleet_keeps_certified_references_and_queued_batches() {
+    // The motivating fleet shape for the tie-set certificate: near-tied
+    // columns make the from-scratch greedy flicker between tie-set
+    // members from cycle to cycle (the precondition below proves this
+    // config actually flickers). Before tie-awareness the warm path
+    // declined certification here and fell back — re-selecting
+    // references and refusing rebases whenever a batch for the old set
+    // was queued. Now the incumbent set must be *kept*, certified, and
+    // queued batches addressed to it must survive the rebase.
+    let cfg = UpdaterConfig::default();
+    let mut service = UpdateService::new();
+    let id = service
+        .register(
+            "library-flicker",
+            Testbed::new(Environment::library(), 5),
+            cfg.clone(),
+            10,
+        )
+        .unwrap();
+    service.run_cycle(15.0, 5).unwrap();
+    let refs = service.updater(id).unwrap().reference_locations().to_vec();
+
+    // Precondition: the from-scratch greedy lands on a different
+    // tie-set member, i.e. this prior genuinely flickers.
+    let prior = service.fingerprint(id).unwrap().clone();
+    let cold = Updater::new(prior.clone(), cfg).unwrap();
+    assert_ne!(
+        cold.reference_locations(),
+        &refs[..],
+        "precondition: this configuration must flicker from scratch"
+    );
+
+    // A batch collected for the incumbent reference set is queued; the
+    // tie-kept rebase leaves its X_R interpretation valid, so it must
+    // neither refuse nor drop the batch.
+    let batch = MeasurementBatch::collect(service.testbed(id).unwrap(), &refs, 20.0, 3).unwrap();
+    service.ingest(id, batch).unwrap();
+    service.rebase(id).unwrap();
+    let warm = service.updater(id).unwrap();
+    assert_eq!(
+        warm.reference_locations(),
+        &refs[..],
+        "tie-certified rebase must keep the incumbent reference set"
+    );
+    assert!(
+        prior
+            .matrix()
+            .certify_pivot_seed(
+                warm.seed_locations(),
+                warm.config().rank_tol,
+                PIVOT_DRIFT_TOL
+            )
+            .unwrap()
+            .is_some(),
+        "the kept set must carry a tie-set certificate on the new prior"
+    );
+    assert_eq!(
+        service.ingest_queue(id).unwrap().len(),
+        1,
+        "the queued batch must survive a tie-kept rebase"
+    );
+
+    // The queued batch still drains cleanly against the kept set.
+    service.run_cycle(20.0, 3).unwrap();
+    assert!(service.ingest_queue(id).unwrap().is_empty());
 }

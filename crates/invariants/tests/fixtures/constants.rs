@@ -5,3 +5,5 @@ pub const THIN_EDGE: usize = 8;
 pub const BLOCK: usize = 64;
 pub const BT_TILE: usize = 32;
 pub const PIVOT_DRIFT_TOL: f64 = 1e-8;
+pub const PIVOT_TIE_TOL: f64 = 1.0;
+pub const PIVOT_TIE_SPAN_TOL: f64 = 1e-12;

@@ -22,24 +22,33 @@
 //!   back to a full refactorisation past a tolerance.
 //!
 //! Each incremental operation *certifies* that greedy column-pivoted
-//! MGS on the updated matrix would make exactly the same selections:
-//! every pivot must dominate every competitor with a relative margin of
-//! at least [`PIVOT_DRIFT_TOL`] (the drift-tolerance fallback rule).
-//! When a margin is too thin to certify — the incremental estimate has
-//! drifted into ambiguity — the operation silently performs the full
+//! MGS on the updated matrix would make the same selections up to
+//! *tie-set equivalence*: every pivot must either dominate every
+//! competitor with a relative margin of at least [`PIVOT_DRIFT_TOL`]
+//! (the drift-tolerance fallback rule), or the competitor must belong
+//! to the pivot's *tie-set* — greedy-competitive within
+//! [`PIVOT_TIE_TOL`] and contained in the certified subspace within
+//! [`PIVOT_TIE_SPAN_TOL`] — so that whichever member the fresh greedy
+//! picks, it selects the same rank and spans the same certified
+//! subspace. When neither holds — the decision has drifted into
+//! genuine ambiguity — the operation silently performs the full
 //! refactorisation instead and reports it in its return value, so the
 //! fast path can never produce a factor that disagrees with
-//! [`Matrix::pivoted_qr`] on rank or leading columns.
+//! [`Matrix::pivoted_qr`] on rank or on the certified subspace.
 //!
 //! [`Matrix::certify_pivot_seed`] exposes the same certification for a
 //! caller-proposed pivot *set* (used by the core layer to re-pivot a
-//! fresh fingerprint matrix against the previous MIC locations).
+//! fresh fingerprint matrix against the previous MIC locations); its
+//! rustdoc carries the written dominance argument for the tie-set
+//! generalisation.
 
+use crate::norms::{vec_norm, vec_norm_sq};
 use crate::{LinalgError, Matrix, Result};
 
 /// Relative dominance margin below which the incremental pivoted-QR
-/// paths refuse to certify a pivot decision and fall back to a full
-/// refactorisation (see the module docs).
+/// paths refuse to certify a pivot decision as *unambiguous* and
+/// consult the tie-set rule (see the module docs) before falling back
+/// to a full refactorisation.
 ///
 /// The greedy reference implementation tracks residual column norms by
 /// *downdating* while the certification paths recompute them from
@@ -47,6 +56,29 @@ use crate::{LinalgError, Matrix, Result};
 /// `machine epsilon x condition number`, so any comparison decided by
 /// less than this margin is treated as ambiguous.
 pub const PIVOT_DRIFT_TOL: f64 = 1e-8;
+
+/// Tie-set width: a competitor that fails strict dominance still
+/// belongs to the step's tie-set while its squared residual exceeds
+/// the step winner's by at most this relative excess (`1.0` = within a
+/// factor of two in squared norm, `√2` in norm) *at the first step
+/// where dominance fails*. Beyond the window the competitor outclasses
+/// the proposed pivot outright and certification falls back.
+///
+/// The window also strengthens the rank certificate: from the first
+/// tied step onward every certified diagonal must clear the rank
+/// threshold by the extra `(1 + PIVOT_TIE_TOL)` factor, so a tie-set
+/// member selected in place of a seed column still clears it.
+pub const PIVOT_TIE_TOL: f64 = 1.0;
+
+/// Span-containment bound for tie-set membership: a tied competitor
+/// must leave at most this fraction of its squared norm outside the
+/// certified subspace (`1e-12` squared-relative = `1e-6` of its norm).
+/// Tied columns may be *selected* by the fresh greedy in place of a
+/// seed column, so — unlike dominated columns, which only need to fall
+/// below the rank threshold — they must lie in the certified subspace
+/// essentially exactly, or the selected subspace would no longer be
+/// the certified one.
+pub const PIVOT_TIE_SPAN_TOL: f64 = 1e-12;
 
 /// Thin QR factorisation `A = Q R` with `Q` of shape `m x k`,
 /// `R` of shape `k x n`, `k = min(m, n)`.
@@ -103,8 +135,7 @@ impl Matrix {
         for col in 0..k {
             // Householder vector for column `col`, rows col..m.
             let pivot_col = rt.row(col);
-            let norm_sq: f64 = pivot_col[col..].iter().map(|x| x * x).sum();
-            let norm = norm_sq.sqrt();
+            let norm = vec_norm(&pivot_col[col..]);
             if norm < f64::EPSILON {
                 continue;
             }
@@ -113,7 +144,7 @@ impl Matrix {
             v[..col].fill(0.0);
             v[col] = head - alpha;
             v[col + 1..m].copy_from_slice(&pivot_col[col + 1..m]);
-            let v_norm_sq: f64 = v[col..].iter().map(|x| x * x).sum();
+            let v_norm_sq = vec_norm_sq(&v[col..]);
             if v_norm_sq < f64::EPSILON * f64::EPSILON {
                 continue;
             }
@@ -184,9 +215,7 @@ impl Matrix {
         let mut chain = 0;
 
         // Residual squared norms of each (permuted) column.
-        let mut res: Vec<f64> = (0..n)
-            .map(|j| workt.row(j).iter().map(|x| x * x).sum())
-            .collect();
+        let mut res: Vec<f64> = (0..n).map(|j| vec_norm_sq(workt.row(j))).collect();
 
         for step in 0..k {
             // Pivot: column with the largest residual norm.
@@ -215,8 +244,17 @@ impl Matrix {
             }
             // Normalise the pivot column -> q_step.
             let pivot_col = workt.row(step);
-            let norm = pivot_col.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm < f64::EPSILON {
+            let norm = vec_norm(pivot_col);
+            // Chain-stop: absolute at step 0 (guards degenerate
+            // normalisation), relative to `R[0,0]` afterwards so a
+            // uniformly scaled matrix keeps the same chain — the rank
+            // decisions downstream are all scale-relative too.
+            let stop = if step == 0 {
+                f64::EPSILON
+            } else {
+                f64::EPSILON * r[(0, 0)]
+            };
+            if norm < stop {
                 break;
             }
             for (qi, &wi) in qt.row_mut(step).iter_mut().zip(pivot_col) {
@@ -268,17 +306,72 @@ impl Matrix {
     }
 
     /// Certifies that greedy column-pivoted QR on `self` would select
-    /// exactly the columns in `seed` — no more, no fewer — as its
+    /// the columns in `seed` — or a *tie-equivalent* set — as its
     /// rank-revealing leading columns at relative tolerance `rank_tol`.
     ///
     /// On success, returns the certified pivot chain (the `seed`
-    /// columns in the order the greedy would pick them), which is
-    /// exactly `self.pivoted_qr()?.leading_columns(rank)` for the rank
-    /// implied by `rank_tol`. Returns `Ok(None)` when the seed cannot
-    /// be certified — it is rank-deficient on `self`, some non-seed
-    /// column would win a pivot step, the implied rank differs, or a
-    /// decision falls inside the relative `margin`
-    /// (use [`PIVOT_DRIFT_TOL`]) and is therefore ambiguous.
+    /// columns in the order the restricted greedy picks them). When no
+    /// non-seed column ties any step, that chain is exactly
+    /// `self.pivoted_qr()?.leading_columns(rank)` for the rank implied
+    /// by `rank_tol`. When some steps are tied, the fresh greedy may
+    /// pick tie-set members in place of seed columns, but the
+    /// certificate still guarantees it selects exactly `seed.len()`
+    /// columns spanning the same certified subspace (see the dominance
+    /// argument below). Returns `Ok(None)` when the seed cannot be
+    /// certified — it is rank-deficient on `self`, some non-seed
+    /// column would outclass a pivot step beyond the [`PIVOT_TIE_TOL`]
+    /// window, a tied column leaves the certified subspace by more
+    /// than [`PIVOT_TIE_SPAN_TOL`], or the implied rank differs.
+    ///
+    /// # Dominance argument (tie-set certificate)
+    ///
+    /// Let `T = span(q_0 … q_{k-1})` be the subspace of the certified
+    /// chain, `sel_res[s]` the squared residual the step-`s` pivot was
+    /// selected at, and `threshold = rank_tol · R[0,0]`. The
+    /// certificate establishes three facts about *every* non-seed
+    /// column `a_j` with residual `r_j(s)` before step `s`:
+    ///
+    /// 1. **Containment.** After the chain, `r_j(k) < threshold²`
+    ///    (with margin): every column of the matrix lies within the
+    ///    rank threshold of `T`, so no greedy run — whatever it picked
+    ///    — can extend the rank beyond `k` while the selected subspace
+    ///    stays within `T`'s threshold ball.
+    /// 2. **Window.** At the first step `s*` where `a_j` fails strict
+    ///    dominance (`sel_res[s*] ≤ r_j(s*)·(1+margin)`), it holds
+    ///    `r_j(s*) ≤ sel_res[s*]·(1 + PIVOT_TIE_TOL)`. Model the tie
+    ///    exactly: if the fresh greedy selects `a_j` at some step
+    ///    instead of the seed pivot, its pick is selected at a squared
+    ///    residual within the window of the seed pivot's, so the
+    ///    picked diagonal satisfies
+    ///    `R'[s,s]² ≥ sel_res[s] / (1 + PIVOT_TIE_TOL)`. (Only the
+    ///    *first* failing step is window-checked: once the restricted
+    ///    and fresh orders diverge, later residual comparisons are
+    ///    order artifacts, while the first divergence point is
+    ///    computed on the shared prefix and is therefore meaningful.)
+    /// 3. **Span.** A tied column additionally satisfies
+    ///    `r_j(k) ≤ PIVOT_TIE_SPAN_TOL · ‖a_j‖²` — it lies in `T`
+    ///    essentially exactly, not merely within the threshold ball.
+    ///    Hence swapping it for a seed column does not rotate the
+    ///    selected subspace: any selection mixing seed columns and
+    ///    tie-set members spans the same `T` (to `√PIVOT_TIE_SPAN_TOL`
+    ///    relative accuracy, far below `rank_tol`).
+    ///
+    /// Together: the fresh greedy, run to completion, picks columns
+    /// from `seed ∪ {tie-set members}` for its first `k` steps (a
+    /// column outside that union would need to win a step, i.e. fail
+    /// dominance outside the window, which returns `None`); each pick
+    /// clears the rank threshold because when any step is tied the
+    /// rank certificate is strengthened to
+    /// `R[s,s]² > threshold²·(1 + PIVOT_TIE_TOL)·(1+margin)` from the
+    /// earliest tied step onward, which by the window bound transfers
+    /// to the fresh pick's diagonal; and step `k+1` stops below
+    /// `threshold` by containment. So the fresh rank is exactly `k`
+    /// and the fresh selection spans `T` — the certified invariants —
+    /// even though the selected *indices* may flicker among tie-set
+    /// members. This mirrors the LRR exactness certificate: a cheap
+    /// closed-form condition under which the fast path provably agrees
+    /// with the reference computation on everything downstream
+    /// consumers observe.
     ///
     /// Cost is one `k x n` projection (`QᵀA`) plus an `m k²` restricted
     /// factorisation — it avoids the full greedy sweep that updates
@@ -336,9 +429,7 @@ impl Matrix {
             }
         }
         let mut order: Vec<usize> = seed.to_vec();
-        let mut res: Vec<f64> = (0..k)
-            .map(|s| workt.row(s).iter().map(|x| x * x).sum())
-            .collect();
+        let mut res: Vec<f64> = (0..k).map(|s| vec_norm_sq(workt.row(s))).collect();
         let mut qt = Matrix::zeros(k, m);
         // `sel_res[s]`: the (downdated) residual squared norm the step-s
         // pivot was selected at; `diag[s]`: its vector norm `R[s,s]`.
@@ -360,8 +451,15 @@ impl Matrix {
                 res.swap(step, pivot);
             }
             let pivot_col = workt.row(step);
-            let norm = pivot_col.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm < f64::EPSILON {
+            let norm = vec_norm(pivot_col);
+            // Scale-relative rank-deficiency stop (absolute at step 0,
+            // relative to `R[0,0]` afterwards, matching the greedy).
+            let stop = if step == 0 {
+                f64::EPSILON
+            } else {
+                f64::EPSILON * diag[0]
+            };
+            if norm < stop {
                 // The seed is numerically rank-deficient on this matrix.
                 return Ok(None);
             }
@@ -388,19 +486,31 @@ impl Matrix {
 
         // Project every non-seed column onto the certified basis
         // (classical Gram-Schmidt via one blocked matmul) and check
-        // per-step dominance plus the final below-threshold condition.
+        // per-step dominance — with the tie-set escape hatch — plus
+        // the final below-threshold condition.
         let coeff = qt.matmul(self)?; // k x n
         let mut in_seed = vec![false; n];
         for &j in seed {
             in_seed[j] = true;
         }
+        let col_sq = self.col_norms_sq();
+        let mut earliest_tie: Option<usize> = None;
         for j in (0..n).filter(|&j| !in_seed[j]) {
-            let mut r_j: f64 = (0..m).map(|i| self[(i, j)] * self[(i, j)]).sum();
+            let mut r_j = col_sq[j];
+            let mut tie_step: Option<usize> = None;
             for s in 0..k {
                 // Dominance before step s: the chosen pivot must beat
-                // this column's residual with margin.
-                if sel_res[s] <= r_j * (1.0 + margin) {
-                    return Ok(None);
+                // this column's residual with margin — or the column
+                // must fall inside the tie window at its first beat
+                // (later beats are restricted-order artifacts; see the
+                // dominance argument in the rustdoc).
+                if tie_step.is_none() && sel_res[s] <= r_j * (1.0 + margin) {
+                    if r_j > sel_res[s] * (1.0 + PIVOT_TIE_TOL) {
+                        // Outclasses the pivot beyond the window: the
+                        // fresh greedy genuinely selects differently.
+                        return Ok(None);
+                    }
+                    tie_step = Some(s);
                 }
                 let c = coeff[(s, j)];
                 r_j = (r_j - c * c).max(0.0);
@@ -408,6 +518,26 @@ impl Matrix {
             // After the chain, the column must fall below the rank
             // threshold with margin, or the fresh rank would exceed k.
             if r_j * (1.0 + margin) >= threshold * threshold {
+                return Ok(None);
+            }
+            if let Some(s) = tie_step {
+                // A tied column may be *selected* in place of a seed
+                // column, so it must lie in the certified subspace
+                // essentially exactly, not merely below threshold.
+                if r_j > PIVOT_TIE_SPAN_TOL * col_sq[j] {
+                    return Ok(None);
+                }
+                earliest_tie = Some(earliest_tie.map_or(s, |e| e.min(s)));
+            }
+        }
+        if let Some(s0) = earliest_tie {
+            // Strengthened rank certificate from the earliest tied
+            // step onward: a tie-set member picked in place of a seed
+            // column has diagonal within the window of the seed's, so
+            // it must still clear the threshold after losing up to a
+            // `(1 + PIVOT_TIE_TOL)` factor in squared norm.
+            let strengthened = threshold * threshold * (1.0 + PIVOT_TIE_TOL) * (1.0 + margin);
+            if diag[s0..].iter().any(|&d| d * d <= strengthened) {
                 return Ok(None);
             }
         }
@@ -561,17 +691,25 @@ impl PivotedQr {
     /// The certification half of [`PivotedQr::append_columns`]: returns
     /// the per-chain-step projection coefficients of the new columns
     /// (`chain` rows of `extra` entries) when the existing pivot chain
-    /// provably survives the append, `None` otherwise.
+    /// provably survives the append *up to tie-set equivalence*,
+    /// `None` otherwise.
+    ///
+    /// A new column that fails strict dominance at some chain step is
+    /// admitted when it satisfies the same tie-set conditions as
+    /// [`Matrix::certify_pivot_seed`]: at its first beat it is within
+    /// the [`PIVOT_TIE_TOL`] window of that step's diagonal, and after
+    /// the chain it lies in the chain's span within
+    /// [`PIVOT_TIE_SPAN_TOL`] of its own squared norm — so a fresh
+    /// greedy that picked it instead of the incumbent pivot would
+    /// select the same rank and span the same subspace.
     fn certify_append(&self, new_cols: &Matrix, k_new: usize) -> Option<Vec<Vec<f64>>> {
         if self.chain == 0 {
             // Degenerate factor (zero matrix): anything could pivot.
             return None;
         }
         let margin = PIVOT_DRIFT_TOL;
-        let m = self.a.rows();
         let extra = new_cols.cols();
-        // sel_res[s]: the residual norm the step-s pivot was selected
-        // at. The greedy selects on downdated residuals; for the pivot
+        // The greedy selects on downdated residuals; for the pivot
         // itself that value is `R[s,s]^2` (its vector norm at pivot
         // time), which is exact — later-step comparisons against other
         // columns used values at least this large.
@@ -584,26 +722,42 @@ impl PivotedQr {
             // columns by construction.
             qt.matmul(new_cols).expect("shapes checked by caller")
         };
+        let col_sq = new_cols.col_norms_sq();
         let mut coeff: Vec<Vec<f64>> = vec![vec![0.0; extra]; self.chain];
         for j in 0..extra {
-            let mut r_j: f64 = (0..m).map(|i| new_cols[(i, j)] * new_cols[(i, j)]).sum();
+            let mut r_j = col_sq[j];
+            let mut tied = false;
             for s in 0..self.chain {
                 let d = self.r[(s, s)];
-                if d * d <= r_j * (1.0 + margin) {
-                    // This new column would have won (or tied) pivot
-                    // step s: the existing chain is not certified.
-                    return None;
+                if !tied && d * d <= r_j * (1.0 + margin) {
+                    if r_j > d * d * (1.0 + PIVOT_TIE_TOL) {
+                        // This new column would have outclassed pivot
+                        // step s beyond the tie window: the existing
+                        // chain is not certified.
+                        return None;
+                    }
+                    tied = true;
                 }
                 let c = coeff_mat[(s, j)];
                 coeff[s][j] = c;
                 r_j = (r_j - c * c).max(0.0);
             }
+            if tied && r_j > PIVOT_TIE_SPAN_TOL * col_sq[j] {
+                // Tied but not contained in the chain's span: a fresh
+                // greedy picking it would rotate the selected subspace.
+                return None;
+            }
             if self.chain < k_new {
                 // The fresh greedy would run further steps: it stops at
                 // `chain` only if no column retains residual mass above
-                // the machine floor (existing columns already satisfy
-                // this — their residuals are untouched by an append).
-                let floor = f64::EPSILON * f64::EPSILON;
+                // the floor (existing columns already satisfy this —
+                // their residuals are untouched by an append). The
+                // floor is scale-relative to `R[0,0]`, matching the
+                // greedy's own relative rank decisions, so a uniformly
+                // tiny-scaled matrix is judged by its own magnitude
+                // rather than certified vacuously.
+                let eps_scaled = f64::EPSILON * self.r[(0, 0)].abs();
+                let floor = eps_scaled * eps_scaled;
                 if r_j * (1.0 + margin) >= floor {
                     return None;
                 }
@@ -1006,6 +1160,166 @@ mod tests {
         assert!(a.certify_pivot_seed(&[99], 1e-6, 1e-8).is_err());
         assert!(a.certify_pivot_seed(&[0], 0.0, 1e-8).is_err());
         assert!(a.certify_pivot_seed(&[0], 1e-6, -1.0).is_err());
+    }
+
+    #[test]
+    fn certify_pivot_seed_accepts_tie_set_members() {
+        let a = correlated_matrix(6, 20, 21);
+        let fresh = a.pivoted_qr().unwrap();
+        let rank = fresh.rank_at(1e-6);
+        let lead = fresh.leading_columns(rank);
+        // Duplicate the strongest pivot into a non-seed column: an
+        // exact k-way tie at that pivot's step.
+        let mut tied = a.clone();
+        let dup: usize = (0..20).find(|j| !lead.contains(j)).unwrap();
+        let c0 = tied.col(lead[0]);
+        tied.set_col(dup, &c0);
+        // The original seed certifies despite the tied challenger…
+        let mut seed = lead.clone();
+        seed.sort_unstable();
+        assert!(
+            tied.certify_pivot_seed(&seed, 1e-6, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_some(),
+            "seed must certify against an exact-duplicate tie"
+        );
+        // …and so does the tie-equivalent seed with the duplicate
+        // swapped in for the original.
+        let mut swapped: Vec<usize> = lead
+            .iter()
+            .map(|&j| if j == lead[0] { dup } else { j })
+            .collect();
+        swapped.sort_unstable();
+        assert!(
+            tied.certify_pivot_seed(&swapped, 1e-6, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_some(),
+            "the tie-set member must certify in the original's place"
+        );
+    }
+
+    #[test]
+    fn certify_pivot_seed_rejects_outclassing_challengers() {
+        let a = correlated_matrix(6, 20, 22);
+        let fresh = a.pivoted_qr().unwrap();
+        let rank = fresh.rank_at(1e-6);
+        let lead = fresh.leading_columns(rank);
+        let mut seed = lead.clone();
+        seed.sort_unstable();
+        // A challenger far beyond the tie window must force fallback.
+        let victim: usize = (0..20).find(|j| !lead.contains(j)).unwrap();
+        let mut outclassed = a.clone();
+        let boosted: Vec<f64> = a.col(lead[0]).iter().map(|&x| x * 10.0).collect();
+        outclassed.set_col(victim, &boosted);
+        assert!(
+            outclassed
+                .certify_pivot_seed(&seed, 1e-6, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_none(),
+            "a challenger outside the window must not certify"
+        );
+    }
+
+    /// Rank-3 base supported on rows 0..3 (so the certified subspace
+    /// has a genuine orthogonal complement), with column 10 an exact
+    /// copy of the strongest column plus an off-span leak of relative
+    /// size `leak` in row 4.
+    fn tied_with_leak(leak: f64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut x = Matrix::zeros(6, 12);
+        for j in 0..12 {
+            for i in 0..3 {
+                x[(i, j)] = rng.gen::<f64>() * 0.2 - 0.1;
+            }
+        }
+        for i in 0..3 {
+            x[(i, i)] += 10.0 - i as f64; // column 0 strongest
+        }
+        let d0 = vec_norm(&x.col(0));
+        for i in 0..3 {
+            x[(i, 10)] = x[(i, 0)];
+        }
+        x[(4, 10)] = leak * d0;
+        x
+    }
+
+    #[test]
+    fn certify_pivot_seed_polices_tie_span_containment() {
+        let seed = [0usize, 1, 2];
+        // Leak at 1e-4 of the pivot scale: ~1e-8 of squared norm ends
+        // up outside the certified span — far above PIVOT_TIE_SPAN_TOL
+        // yet below the rank_tol = 1e-3 threshold, so only the span
+        // condition can catch it.
+        assert!(
+            tied_with_leak(1e-4)
+                .certify_pivot_seed(&seed, 1e-3, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_none(),
+            "a tied challenger outside the certified span must not certify"
+        );
+        // An ε-perturbed duplicate (leak within PIVOT_TIE_SPAN_TOL)
+        // is a genuine tie-set member and certifies.
+        assert!(
+            tied_with_leak(1e-10)
+                .certify_pivot_seed(&seed, 1e-3, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_some(),
+            "an in-span tied duplicate must certify"
+        );
+    }
+
+    #[test]
+    fn append_tied_duplicate_column_keeps_factor() {
+        let a = correlated_matrix(6, 18, 23);
+        let mut pqr = a.pivoted_qr().unwrap();
+        let rank = pqr.rank_at(1e-6);
+        let first = pqr.leading_columns(1)[0];
+        // Appending an exact copy of the strongest pivot creates an
+        // exact tie at step 0: certifiable under the tie-set rule.
+        let dup = a.select_cols(&[first]);
+        let fast = pqr.append_columns(&dup).unwrap();
+        assert!(fast, "an exact-duplicate append is tie-certified");
+        assert_eq!(pqr.rank_at(1e-6), rank, "tie must not change the rank");
+        // The kept selection is tie-equivalent to a fresh greedy's:
+        // it certifies as a pivot seed on the extended matrix.
+        let mut kept = pqr.leading_columns(rank);
+        kept.sort_unstable();
+        assert!(
+            pqr.matrix()
+                .certify_pivot_seed(&kept, 1e-6, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_some(),
+            "kept selection must stay certified on the extended matrix"
+        );
+    }
+
+    #[test]
+    fn append_floor_is_scale_relative() {
+        // A uniformly tiny-scaled matrix: two orthogonal directions at
+        // 1e-10 plus dead columns, so the pivot chain stops early.
+        let s = 1e-10;
+        let mut a = Matrix::zeros(4, 4);
+        a[(0, 0)] = s;
+        a[(1, 1)] = s;
+        let mut pqr = a.pivoted_qr().unwrap();
+        assert_eq!(pqr.chain_len(), 2);
+        // An appended column mixing the base with a genuinely new
+        // direction that is large relative to the matrix scale but far
+        // below the old absolute `EPSILON²` floor — the old check
+        // certified "no chain extension" here and silently dropped the
+        // new direction from the factor.
+        let mut c = Matrix::zeros(4, 1);
+        c[(0, 0)] = 0.5 * s;
+        c[(2, 0)] = 1e-18;
+        let fast = pqr.append_columns(&c).unwrap();
+        assert!(!fast, "tiny-scale independent column must force a refactor");
+        assert_eq!(
+            pqr.chain_len(),
+            3,
+            "the chain must extend to the new direction"
+        );
+        assert_eq!(pqr.rank_at(1e-9), 3);
+        assert_matches_fresh(&pqr, 1e-9);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Regression-test tier for the updatable pivoted QR: across random
 //! append/remove sequences, the incremental factorisation must agree
 //! with a fresh `pivoted_qr()` of the assembled matrix on numerical
-//! rank and on the selected leading columns, and its factor residual
-//! `‖A P − Q R‖_F` must stay below `1e-9` (relative). The fast paths
-//! certify their pivot decisions with the [`PIVOT_DRIFT_TOL`] margin
-//! and fall back to a full refactorisation when a decision is
-//! ambiguous, so these properties hold whichever path each step takes.
+//! rank and — up to *tie-set equivalence* — on the selected leading
+//! columns, and its factor residual `‖A P − Q R‖_F` must stay below
+//! `1e-9` (relative). The fast paths certify their pivot decisions
+//! with the [`PIVOT_DRIFT_TOL`] margin; a decision inside the margin
+//! is admitted only when the challenger is a certified tie-set member
+//! (within [`PIVOT_TIE_TOL`] at its first beat and in-span within
+//! [`PIVOT_TIE_SPAN_TOL`]), and otherwise falls back to a full
+//! refactorisation — so whichever path each step takes, the selected
+//! rank and the certified subspace match a fresh factorisation.
 
-use iupdater_linalg::qr::PIVOT_DRIFT_TOL;
+use iupdater_linalg::qr::{PIVOT_DRIFT_TOL, PIVOT_TIE_SPAN_TOL, PIVOT_TIE_TOL};
 use iupdater_linalg::Matrix;
 use proptest::prelude::*;
 
@@ -118,11 +122,23 @@ fn assert_parity(pqr: &iupdater_linalg::qr::PivotedQr, mirror: &Matrix) {
     let fresh = mirror.pivoted_qr().unwrap();
     let rank = fresh.rank_at(RANK_TOL);
     assert_eq!(pqr.rank_at(RANK_TOL), rank, "rank differs from fresh");
-    assert_eq!(
-        pqr.leading_columns(rank),
-        fresh.leading_columns(rank),
-        "leading columns differ from fresh"
-    );
+    let incr_lead = pqr.leading_columns(rank);
+    let fresh_lead = fresh.leading_columns(rank);
+    if incr_lead != fresh_lead {
+        // The selections may differ only by tie-set membership: the
+        // incremental selection must itself certify as a pivot seed on
+        // the mirror (same rank, same certified subspace).
+        let mut sorted = incr_lead.clone();
+        sorted.sort_unstable();
+        assert!(
+            mirror
+                .certify_pivot_seed(&sorted, RANK_TOL, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_some(),
+            "leading columns differ from fresh and are not tie-equivalent: \
+             {incr_lead:?} vs {fresh_lead:?}"
+        );
+    }
     let residual =
         (&pqr.q.matmul(&pqr.r).unwrap() - &mirror.select_cols(&pqr.perm)).frobenius_norm();
     let scale = mirror.frobenius_norm().max(1.0);
@@ -191,7 +207,136 @@ proptest! {
             .certify_pivot_seed(&seed, RANK_TOL, PIVOT_DRIFT_TOL)
             .unwrap()
         {
-            prop_assert_eq!(chain, fresh.leading_columns(rank));
+            let fresh_lead = fresh.leading_columns(rank);
+            if chain != fresh_lead {
+                // Drift may leave the certificate and the fresh greedy
+                // on different tie-set members; then the fresh set must
+                // certify too (mutual tie-equivalence).
+                let mut fl = fresh_lead.clone();
+                fl.sort_unstable();
+                prop_assert!(drifted
+                    .certify_pivot_seed(&fl, RANK_TOL, PIVOT_DRIFT_TOL)
+                    .unwrap()
+                    .is_some());
+            }
         }
+    }
+
+    #[test]
+    fn tie_set_members_certify_interchangeably(
+        base in base_matrix_strategy(),
+        eps in 0.0f64..1e-10,
+    ) {
+        // Constructed k-way tie: the strongest pivot is boosted well
+        // clear of the field, then duplicated (with an ε-perturbation)
+        // into a spare column. Both duplicates are tie-set members.
+        let fresh0 = base.pivoted_qr().unwrap();
+        let l0 = fresh0.leading_columns(1)[0];
+        let mut boosted = base.clone();
+        let twice: Vec<f64> = base.col(l0).iter().map(|&v| v * 2.0).collect();
+        boosted.set_col(l0, &twice);
+        let fresh_b = boosted.pivoted_qr().unwrap();
+        let rank = fresh_b.rank_at(RANK_TOL);
+        prop_assume!(rank >= 2);
+        let lead = fresh_b.leading_columns(rank);
+        prop_assume!(lead[0] == l0);
+        let spares: Vec<usize> =
+            (0..boosted.cols()).filter(|j| !lead.contains(j)).collect();
+        prop_assume!(spares.len() >= 2);
+        let dup = spares[0];
+        let mut tied = boosted.clone();
+        let perturbed: Vec<f64> = boosted
+            .col(l0)
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * (1.0 + eps * ((i % 5) as f64 - 2.0)))
+            .collect();
+        tied.set_col(dup, &perturbed);
+
+        // (a) Every tie-set member certifies: the original seed and the
+        // seed with the duplicate swapped in.
+        let mut seed_a = lead.clone();
+        seed_a.sort_unstable();
+        let chain_a = tied
+            .certify_pivot_seed(&seed_a, RANK_TOL, PIVOT_DRIFT_TOL)
+            .unwrap();
+        prop_assert!(chain_a.is_some(), "original seed must certify against its tie");
+        let mut seed_b: Vec<usize> =
+            lead.iter().map(|&j| if j == l0 { dup } else { j }).collect();
+        seed_b.sort_unstable();
+        prop_assert!(
+            tied.certify_pivot_seed(&seed_b, RANK_TOL, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_some(),
+            "the tie-set member must certify in the original's place"
+        );
+
+        // (b) An out-of-class seed — dropping the boosted tie pair for
+        // an unrelated column — leaves both duplicates as challengers
+        // beyond the PIVOT_TIE_TOL window: it must fall back.
+        let mut seed_c: Vec<usize> =
+            lead.iter().map(|&j| if j == l0 { spares[1] } else { j }).collect();
+        seed_c.sort_unstable();
+        prop_assert!(
+            tied.certify_pivot_seed(&seed_c, RANK_TOL, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_none(),
+            "a seed missing the whole tie-set must fall back"
+        );
+
+        // (c) Fresh-vs-certified agreement: same rank, leading columns
+        // equal up to swapping within the tie-set, and the certified
+        // selection spans the fresh selection to 1e-9 (relative).
+        let fresh_t = tied.pivoted_qr().unwrap();
+        prop_assert_eq!(fresh_t.rank_at(RANK_TOL), rank);
+        let fresh_lead = fresh_t.leading_columns(rank);
+        let mut fl = fresh_lead.clone();
+        fl.sort_unstable();
+        prop_assert!(
+            fl == seed_a || fl == seed_b,
+            "fresh selection must be a tie-set relabelling: {:?}",
+            fresh_lead
+        );
+        let q = tied.select_cols(&seed_a).qr().unwrap().q;
+        let picked = tied.select_cols(&fresh_lead);
+        let proj = q.matmul(&q.transpose().matmul(&picked).unwrap()).unwrap();
+        let resid = (&picked - &proj).frobenius_norm();
+        prop_assert!(
+            resid <= 1e-9 * picked.frobenius_norm().max(1.0),
+            "certified selection must span the fresh one (residual {})",
+            resid
+        );
+    }
+
+    #[test]
+    fn tie_window_and_span_constants_are_policed(
+        base in base_matrix_strategy(),
+    ) {
+        // The tie window is not a blank cheque: a challenger just
+        // outside `(1 + PIVOT_TIE_TOL)` in squared norm must fall back.
+        let fresh0 = base.pivoted_qr().unwrap();
+        let rank = fresh0.rank_at(RANK_TOL);
+        prop_assume!(rank >= 2);
+        let lead = fresh0.leading_columns(rank);
+        let spare = (0..base.cols()).find(|j| !lead.contains(j));
+        prop_assume!(spare.is_some());
+        let dup = spare.unwrap();
+        let l0 = lead[0];
+        let factor = (1.0 + PIVOT_TIE_TOL).sqrt() * 1.5;
+        let over: Vec<f64> = base.col(l0).iter().map(|&v| v * factor).collect();
+        let mut outclassed = base.clone();
+        outclassed.set_col(dup, &over);
+        let mut seed = lead.clone();
+        seed.sort_unstable();
+        prop_assert!(
+            outclassed
+                .certify_pivot_seed(&seed, RANK_TOL, PIVOT_DRIFT_TOL)
+                .unwrap()
+                .is_none(),
+            "a challenger beyond the tie window must fall back"
+        );
+        // Constants themselves: the span bound must stay far below the
+        // squared window so tie members cannot rotate the subspace.
+        prop_assert!(PIVOT_TIE_SPAN_TOL < 1e-6 * (1.0 + PIVOT_TIE_TOL));
     }
 }
