@@ -561,6 +561,76 @@ fn bench_incremental_qr(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_query(c: &mut Criterion) {
+    // The read path (PR 9): single-query latency (with p99 from the
+    // harness line), a 256-query serial loop through the unprepared
+    // oracle vs the prepared scratch path, and the chunked batch
+    // fan-out — at the paper size and the 2x/4x scaled offices.
+    let mut group = c.benchmark_group("query");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(40);
+
+    let setups = [
+        (Environment::office(), 1u64, 20usize, "8x96"),
+        (iupdater_eval::ext_scale::scaled_office(2), 2, 5, "16x384"),
+        (iupdater_eval::ext_scale::scaled_office(4), 3, 1, "32x1536"),
+    ];
+    for (env, seed, samples, tag) in setups {
+        let t = Testbed::new(env, seed);
+        let fp = FingerprintMatrix::survey(&t, 0.0, samples);
+        let n = fp.num_locations();
+        let loc = Localizer::new(fp, LocalizerConfig::default());
+        let queries: Vec<Vec<f64>> = (0..256)
+            .map(|q| t.online_measurement(q % n, 0.0, 900 + q as u64))
+            .collect();
+        // Fast paths change cost, never answers: assert exact parity
+        // with the unprepared oracle on the whole slab before timing.
+        let batch = loc.localize_batch(&queries).unwrap();
+        for (y, b) in queries.iter().zip(&batch) {
+            assert_eq!(
+                loc.localize_unprepared(y).unwrap(),
+                *b,
+                "query bench slab must match the unprepared oracle"
+            );
+        }
+
+        group.bench_function(&format!("unprepared_loop_256_{tag}"), |b| {
+            b.iter(|| {
+                let mut last = 0usize;
+                for y in &queries {
+                    last = loc.localize_unprepared(black_box(y)).unwrap().grid;
+                }
+                last
+            })
+        });
+        let mut scratch = QueryScratch::new();
+        group.bench_function(&format!("prepared_loop_256_{tag}"), |b| {
+            b.iter(|| {
+                let mut last = 0usize;
+                for y in &queries {
+                    last = loc
+                        .localize_with_scratch(black_box(y), &mut scratch)
+                        .unwrap()
+                        .grid;
+                }
+                last
+            })
+        });
+        group.bench_function(&format!("batch_256_{tag}"), |b| {
+            b.iter(|| loc.localize_batch(black_box(&queries)).unwrap())
+        });
+        let mut single_scratch = QueryScratch::new();
+        group.bench_function(&format!("single_{tag}"), |b| {
+            b.iter(|| {
+                loc.localize_with_scratch(black_box(&queries[17]), &mut single_scratch)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_linalg,
@@ -572,6 +642,7 @@ criterion_group!(
     bench_solver,
     bench_solver_scale,
     bench_warm_start,
-    bench_incremental_qr
+    bench_incremental_qr,
+    bench_query
 );
 criterion_main!(benches);

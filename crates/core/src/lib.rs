@@ -138,6 +138,7 @@ pub mod multi_target;
 pub mod neighbors;
 pub mod omp;
 pub mod persist;
+pub mod query;
 pub mod reconstruct;
 pub mod rsvd;
 pub mod self_augmented;
@@ -150,6 +151,7 @@ pub use config::{CouplingMode, LocalizerConfig, ScalingMode, UpdaterConfig};
 pub use error::CoreError;
 pub use fingerprint::FingerprintMatrix;
 pub use localize::{Localizer, LocationEstimate};
+pub use query::{PreparedDictionary, QueryScratch};
 pub use reconstruct::Updater;
 pub use service::{DeploymentId, UpdateOutcome, UpdateService};
 
@@ -163,6 +165,7 @@ pub mod prelude {
     };
     pub use crate::fingerprint::FingerprintMatrix;
     pub use crate::localize::{Localizer, LocationEstimate};
+    pub use crate::query::{PreparedDictionary, QueryScratch};
     pub use crate::reconstruct::Updater;
     pub use crate::service::{DeploymentId, UpdateOutcome, UpdateService};
     pub use crate::CoreError;

@@ -4,12 +4,22 @@
 //! {0,1}-sparse location vector `W`; the estimate solves
 //! `min ‖X̂ Ŵ − y‖₂²` greedily by OMP (Eq. 27). The strongest selected
 //! atom's column index is the estimated grid location.
+//!
+//! The serving path runs against a [`PreparedDictionary`] built once at
+//! construction ([`Localizer::new`], hence once per database publish):
+//! [`Localizer::localize`] / [`Localizer::localize_with_scratch`] for
+//! single queries and [`Localizer::localize_batch`] to fan a query slab
+//! across the persistent worker pool. The original per-query scalar
+//! path is kept verbatim as [`Localizer::localize_unprepared`] — the
+//! golden oracle the `query_parity` tier pins every fast path against.
 
 use iupdater_linalg::Matrix;
+use rayon::prelude::*;
 
 use crate::config::{AtomSelection, LocalizerConfig};
 use crate::fingerprint::FingerprintMatrix;
-use crate::omp::orthogonal_matching_pursuit;
+use crate::omp::{orthogonal_matching_pursuit, OmpSolution};
+use crate::query::{PreparedDictionary, QueryScratch, BINARY_LANES, QUERY_CHUNK};
 use crate::{CoreError, Result};
 
 /// A grid-location estimate.
@@ -30,34 +40,30 @@ pub struct LocationEstimate {
 pub struct Localizer {
     fingerprint: FingerprintMatrix,
     config: LocalizerConfig,
-    /// Per-link means of the dictionary, used when `config.center`.
-    row_means: Vec<f64>,
-    /// The (possibly centred) dictionary used for matching.
-    dictionary: Matrix,
+    /// Publish-time query structures (centred dictionary, atom rows,
+    /// column norms, optional Gram cache).
+    prepared: PreparedDictionary,
 }
 
 impl Localizer {
-    /// Builds a localizer over a fingerprint matrix.
+    /// Builds a localizer over a fingerprint matrix, preparing the
+    /// query structures once so every subsequent query pays only the
+    /// pursuit itself.
     pub fn new(fingerprint: FingerprintMatrix, config: LocalizerConfig) -> Self {
-        let x = fingerprint.matrix();
-        let row_means: Vec<f64> = (0..x.rows())
-            .map(|i| x.row(i).iter().sum::<f64>() / x.cols() as f64)
-            .collect();
-        let dictionary = if config.center {
-            Matrix::from_fn(x.rows(), x.cols(), |i, j| x[(i, j)] - row_means[i])
-        } else {
-            x.clone()
-        };
+        let prepared = PreparedDictionary::prepare(fingerprint.matrix(), &config);
         Localizer {
             fingerprint,
             config,
-            row_means,
-            dictionary,
+            prepared,
         }
     }
 
     /// Estimates the grid location for an online measurement `y`
     /// (one RSS value per link, Eq. 25).
+    ///
+    /// Convenience wrapper over [`Self::localize_with_scratch`] with a
+    /// throwaway scratch; loops over many queries should hold one
+    /// [`QueryScratch`] (or call [`Self::localize_batch`]) instead.
     ///
     /// # Errors
     ///
@@ -66,6 +72,23 @@ impl Localizer {
     /// - [`CoreError::InvalidArgument`] if OMP selects no atom (zero
     ///   dictionary).
     pub fn localize(&self, y: &[f64]) -> Result<LocationEstimate> {
+        let mut scratch = QueryScratch::new();
+        self.localize_with_scratch(y, &mut scratch)
+    }
+
+    /// [`Self::localize`] against caller-held working memory: after the
+    /// first call at a given database shape the pursuit allocates only
+    /// its output. Answers are identical to [`Self::localize`] and to
+    /// [`Self::localize_unprepared`] (pinned by `query_parity`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::localize`].
+    pub fn localize_with_scratch(
+        &self,
+        y: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Result<LocationEstimate> {
         if y.len() != self.fingerprint.num_links() {
             return Err(CoreError::DimensionMismatch {
                 context: "Localizer::localize",
@@ -73,23 +96,117 @@ impl Localizer {
                 got: format!("{}", y.len()),
             });
         }
-        let centered: Vec<f64> = if self.config.center {
-            y.iter().zip(&self.row_means).map(|(v, m)| v - m).collect()
-        } else {
-            y.to_vec()
-        };
+        let sol = self.prepared.pursue(y, &self.config, scratch)?;
+        self.estimate_from(sol)
+    }
+
+    /// Localizes a slab of queries across the persistent worker pool.
+    ///
+    /// The slab is split into fixed [`QUERY_CHUNK`]-sized chunks, one
+    /// reusable scratch per chunk; chunk boundaries depend only on the
+    /// slab length and results are reassembled in input order, so the
+    /// output is identical at any worker count — and element-for-element
+    /// identical to calling [`Self::localize`] in a loop. Under the
+    /// binary-residual model, each chunk additionally advances
+    /// [`BINARY_LANES`] queries per sweep of the atom rows (interleaved
+    /// distance chains — same bits, vectorised cost).
+    ///
+    /// # Errors
+    ///
+    /// A per-query error (dimension mismatch or degenerate selection),
+    /// as for [`Self::localize`], if any query in the slab fails.
+    pub fn localize_batch(&self, queries: &[Vec<f64>]) -> Result<Vec<LocationEstimate>> {
+        let n_chunks = queries.len().div_ceil(QUERY_CHUNK);
+        let per_chunk: Vec<Result<Vec<LocationEstimate>>> = (0..n_chunks)
+            .into_par_iter()
+            .map(|ci| {
+                let start = ci * QUERY_CHUNK;
+                let end = (start + QUERY_CHUNK).min(queries.len());
+                let mut scratch = QueryScratch::new();
+                self.localize_chunk(&queries[start..end], &mut scratch)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in per_chunk {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+
+    /// One batch chunk: blocked lane-interleaved pursuit for the
+    /// binary model, the per-query prepared path otherwise. Answers
+    /// are identical to a [`Self::localize_with_scratch`] loop.
+    fn localize_chunk(
+        &self,
+        queries: &[Vec<f64>],
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<LocationEstimate>> {
+        if self.config.selection != AtomSelection::BinaryResidual {
+            return queries
+                .iter()
+                .map(|y| self.localize_with_scratch(y, scratch))
+                .collect();
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        let mut blocks = queries.chunks_exact(BINARY_LANES);
+        for block in blocks.by_ref() {
+            for y in block {
+                if y.len() != self.fingerprint.num_links() {
+                    return Err(CoreError::DimensionMismatch {
+                        context: "Localizer::localize",
+                        expected: format!("{} link measurements", self.fingerprint.num_links()),
+                        got: format!("{}", y.len()),
+                    });
+                }
+            }
+            for sol in self
+                .prepared
+                .binary_pursuit_block(block, &self.config, scratch)
+            {
+                out.push(self.estimate_from(sol)?);
+            }
+        }
+        for y in blocks.remainder() {
+            out.push(self.localize_with_scratch(y, scratch)?);
+        }
+        Ok(out)
+    }
+
+    /// The original per-query scalar path, kept verbatim as the golden
+    /// oracle for the prepared fast paths (the read-path analogue of
+    /// `solver/reference.rs`): centres `y`, runs the configured pursuit
+    /// with per-step `select_cols`/`gram`/`solve` rebuilds, extracts
+    /// the grid estimate. `query_parity` asserts the prepared paths
+    /// match this bit-for-bit on supports and grids.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::localize`].
+    pub fn localize_unprepared(&self, y: &[f64]) -> Result<LocationEstimate> {
+        if y.len() != self.fingerprint.num_links() {
+            return Err(CoreError::DimensionMismatch {
+                context: "Localizer::localize",
+                expected: format!("{} link measurements", self.fingerprint.num_links()),
+                got: format!("{}", y.len()),
+            });
+        }
+        let centered = self.prepared.center_query(y);
         let sol = match self.config.selection {
             AtomSelection::Correlation => orthogonal_matching_pursuit(
-                &self.dictionary,
+                self.prepared.dictionary(),
                 &centered,
                 self.config.max_atoms,
                 self.config.residual_threshold,
             )?,
             AtomSelection::BinaryResidual => self.binary_pursuit(&centered),
         };
-        // The location estimate: the first atom under the binary model
-        // (greedy order = match quality), the strongest coefficient
-        // under classic OMP.
+        self.estimate_from(sol)
+    }
+
+    /// The location estimate from a pursuit solution: the first atom
+    /// under the binary model (greedy order = match quality), the
+    /// strongest coefficient under classic OMP.
+    fn estimate_from(&self, sol: OmpSolution) -> Result<LocationEstimate> {
         let grid = match self.config.selection {
             AtomSelection::BinaryResidual => sol.support.first().copied(),
             AtomSelection::Correlation => sol
@@ -112,10 +229,14 @@ impl Localizer {
 
     /// Greedy pursuit under the binary location model of Eq. (26):
     /// coefficients are fixed at 1, so each step picks the column that
-    /// minimises the residual `‖r − x_j‖₂²` and subtracts it.
-    fn binary_pursuit(&self, y: &[f64]) -> crate::omp::OmpSolution {
-        let m = self.dictionary.rows();
-        let n = self.dictionary.cols();
+    /// minimises the residual `‖r − x_j‖₂²` and subtracts it. This is
+    /// the oracle-side loop (strided column walks, `support.contains`);
+    /// the prepared twin scans contiguous atom rows in the same
+    /// ascending-link order, so both produce identical bits.
+    fn binary_pursuit(&self, y: &[f64]) -> OmpSolution {
+        let dictionary: &Matrix = self.prepared.dictionary();
+        let m = dictionary.rows();
+        let n = dictionary.cols();
         let mut residual = y.to_vec();
         let mut support = Vec::new();
         for _ in 0..self.config.max_atoms.min(n) {
@@ -127,7 +248,7 @@ impl Localizer {
                 }
                 let dist: f64 = (0..m)
                     .map(|i| {
-                        let d = residual[i] - self.dictionary[(i, j)];
+                        let d = residual[i] - dictionary[(i, j)];
                         d * d
                     })
                     .sum();
@@ -144,7 +265,7 @@ impl Localizer {
             }
             support.push(j_star);
             for (i, r) in residual.iter_mut().enumerate().take(m) {
-                *r -= self.dictionary[(i, j_star)];
+                *r -= dictionary[(i, j_star)];
             }
             let res_sq: f64 = residual.iter().map(|r| r * r).sum();
             if res_sq < self.config.residual_threshold {
@@ -153,7 +274,7 @@ impl Localizer {
         }
         let residual_sq = residual.iter().map(|r| r * r).sum();
         let coefficients = vec![1.0; support.len()];
-        crate::omp::OmpSolution {
+        OmpSolution {
             support,
             coefficients,
             residual_sq,
@@ -168,6 +289,11 @@ impl Localizer {
     /// The configuration in use.
     pub fn config(&self) -> &LocalizerConfig {
         &self.config
+    }
+
+    /// The prepared query structures in use.
+    pub fn prepared(&self) -> &PreparedDictionary {
+        &self.prepared
     }
 }
 
@@ -273,6 +399,8 @@ mod tests {
     fn wrong_measurement_length_rejected() {
         let (_, loc) = office_localizer(14);
         assert!(loc.localize(&[0.0; 5]).is_err());
+        assert!(loc.localize_unprepared(&[0.0; 5]).is_err());
+        assert!(loc.localize_batch(&[vec![0.0; 5]]).is_err());
     }
 
     #[test]
@@ -306,9 +434,41 @@ mod tests {
     }
 
     #[test]
+    fn prepared_path_matches_unprepared_oracle() {
+        // Element-for-element: prepared single, prepared batch, and
+        // the unprepared oracle agree exactly on live testbed queries.
+        let (t, loc) = office_localizer(19);
+        let queries: Vec<Vec<f64>> = (0..96)
+            .map(|j| t.online_measurement(j, 0.0, 400 + j as u64))
+            .collect();
+        let batch = loc.localize_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        let mut scratch = QueryScratch::new();
+        for (y, b) in queries.iter().zip(&batch) {
+            let oracle = loc.localize_unprepared(y).unwrap();
+            let single = loc.localize_with_scratch(y, &mut scratch).unwrap();
+            assert_eq!(&oracle, b);
+            assert_eq!(&oracle, &single);
+            assert!(b.residual_sq.to_bits() == oracle.residual_sq.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_calls() {
+        let (t, loc) = office_localizer(20);
+        let queries: Vec<Vec<f64>> = (0..150)
+            .map(|j| t.online_measurement(j % 96, 0.0, 700 + j as u64))
+            .collect();
+        let a = loc.localize_batch(&queries).unwrap();
+        let b = loc.localize_batch(&queries).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn accessors() {
         let (_, loc) = office_localizer(16);
         assert_eq!(loc.fingerprint().num_links(), 8);
         assert_eq!(loc.config().max_atoms, 1);
+        assert_eq!(loc.prepared().dictionary().shape(), (8, 96));
     }
 }

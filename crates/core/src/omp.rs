@@ -20,6 +20,18 @@ pub struct OmpSolution {
     pub residual_sq: f64,
 }
 
+/// Scale-relative dead-atom floor: a column whose norm is at or below
+/// `f64::EPSILON` times the largest column norm carries no usable
+/// direction and is excluded from atom selection. The floor is
+/// relative — an absolute `<= f64::EPSILON` floor silently skipped
+/// *every* atom of a uniformly tiny-scaled (e.g. 1e-10) dictionary,
+/// the same failure class as the absolute append stop floor fixed in
+/// the incremental QR. A zero dictionary yields a zero floor, so
+/// all-zero columns stay excluded.
+pub(crate) fn dead_atom_floor(col_norms: &[f64]) -> f64 {
+    f64::EPSILON * col_norms.iter().fold(0.0_f64, |a, &b| a.max(b))
+}
+
 /// Runs OMP: finds a sparse `w` with `dictionary * w ≈ y`.
 ///
 /// `max_atoms` bounds the support size; iteration stops early when the
@@ -52,17 +64,22 @@ pub fn orthogonal_matching_pursuit(
     let m = dictionary.rows();
     let n = dictionary.cols();
     let col_norms = dictionary.col_norms();
+    let dead_floor = dead_atom_floor(&col_norms);
 
     let mut residual = y.to_vec();
     let mut support: Vec<usize> = Vec::new();
     let mut coefficients: Vec<f64> = Vec::new();
+    let mut selected = vec![false; n];
+    // Running squared residual: kept in sync with `residual` so the
+    // final value never needs a second full pass.
+    let mut residual_sq: f64 = residual.iter().map(|r| r * r).sum();
 
     for _ in 0..max_atoms.min(n) {
         // Atom selection: normalised correlation with the residual.
         let mut best = None;
         let mut best_score = 0.0_f64;
         for j in 0..n {
-            if support.contains(&j) || col_norms[j] <= f64::EPSILON {
+            if selected[j] || col_norms[j] <= dead_floor {
                 continue;
             }
             let corr: f64 = (0..m).map(|i| dictionary[(i, j)] * residual[i]).sum();
@@ -74,6 +91,7 @@ pub fn orthogonal_matching_pursuit(
         }
         let Some(j_star) = best else { break };
         support.push(j_star);
+        selected[j_star] = true;
 
         // Least-squares re-fit on the support.
         let sub = dictionary.select_cols(&support);
@@ -91,12 +109,11 @@ pub fn orthogonal_matching_pursuit(
             }
             residual[i] = y[i] - fit;
         }
-        let res_sq: f64 = residual.iter().map(|r| r * r).sum();
-        if res_sq < residual_threshold {
+        residual_sq = residual.iter().map(|r| r * r).sum();
+        if residual_sq < residual_threshold {
             break;
         }
     }
-    let residual_sq = residual.iter().map(|r| r * r).sum();
     Ok(OmpSolution {
         support,
         coefficients,
@@ -172,6 +189,34 @@ mod tests {
         assert!(orthogonal_matching_pursuit(&Matrix::zeros(0, 0), &[], 1, 0.1).is_err());
         assert!(orthogonal_matching_pursuit(&d, &[1.0], 1, 0.1).is_err());
         assert!(orthogonal_matching_pursuit(&d, &[1.0, 2.0], 0, 0.1).is_err());
+    }
+
+    #[test]
+    fn tiny_scaled_dictionary_still_recovers() {
+        // Regression: the dead-atom guard was an absolute
+        // `col_norms[j] <= f64::EPSILON` floor, so a uniformly
+        // 1e-10-scaled copy of a recoverable instance skipped every
+        // atom and returned an empty support. The floor is now
+        // relative to the largest column norm.
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Matrix::from_fn(10, 20, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
+        let scale = 1e-10;
+        let d_tiny = Matrix::from_fn(10, 20, |i, j| d[(i, j)] * scale);
+        let y_tiny: Vec<f64> = (0..10)
+            .map(|i| 3.0 * d_tiny[(i, 4)] - 2.0 * d_tiny[(i, 11)])
+            .collect();
+        let sol = orthogonal_matching_pursuit(&d_tiny, &y_tiny, 2, 1e-40).unwrap();
+        let mut s = sol.support.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![4, 11], "tiny-scaled instance must stay recoverable");
+        // Coefficients are scale-invariant (dictionary and target are
+        // scaled together).
+        let mut coeffs: Vec<f64> = sol.coefficients.clone();
+        if sol.support[0] == 11 {
+            coeffs.reverse();
+        }
+        assert!((coeffs[0] - 3.0).abs() < 1e-6);
+        assert!((coeffs[1] + 2.0).abs() < 1e-6);
     }
 
     #[test]

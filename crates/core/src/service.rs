@@ -231,10 +231,12 @@ struct ManagedDeployment {
     testbed: Testbed,
     updater: Updater,
     current: FingerprintMatrix,
-    /// Lazily built default-config localizer over `current`; reset
-    /// whenever `current` is replaced so online queries never rebuild
-    /// the centred dictionary per call.
-    localizer: std::sync::OnceLock<Localizer>,
+    /// Default-config localizer over `current`, with its prepared
+    /// query structures (centred dictionary, atom rows, column norms)
+    /// built eagerly at every publish point — register, commit,
+    /// restore — so the first online query after a database swap pays
+    /// no rebuild.
+    localizer: Localizer,
     queue: IngestQueue,
     cycles_run: usize,
     last_update_day: f64,
@@ -353,12 +355,13 @@ impl UpdateService {
         let prior = FingerprintMatrix::survey(&testbed, 0.0, survey_samples.max(1));
         let updater = Updater::new(prior.clone(), config)?;
         let id = DeploymentId(self.deployments.len());
+        let localizer = Localizer::new(prior.clone(), LocalizerConfig::default());
         self.deployments.push(ManagedDeployment {
             name,
             testbed,
             updater,
             current: prior,
-            localizer: std::sync::OnceLock::new(),
+            localizer,
             queue: IngestQueue::default(),
             cycles_run: 0,
             last_update_day: 0.0,
@@ -610,7 +613,9 @@ impl UpdateService {
         let dep = &mut self.deployments[idx];
         for (batch_day, db, report) in committed {
             dep.current = db;
-            dep.localizer = std::sync::OnceLock::new();
+            // Publish-time rebuild: prepare the query structures at
+            // the commit point, not lazily on the first query.
+            dep.localizer = Localizer::new(dep.current.clone(), LocalizerConfig::default());
             dep.cycles_run += 1;
             dep.last_update_day = batch_day;
             outcomes.push(UpdateOutcome {
@@ -865,7 +870,7 @@ impl UpdateService {
                 testbed,
                 updater,
                 current: s.current.clone(),
-                localizer: std::sync::OnceLock::new(),
+                localizer: Localizer::new(s.current.clone(), LocalizerConfig::default()),
                 queue: IngestQueue::default(),
                 cycles_run: s.cycles_run,
                 last_update_day: s.last_update_day,
@@ -875,18 +880,34 @@ impl UpdateService {
     }
 
     /// Localizes an online measurement against the deployment's current
-    /// database, reusing a cached default-config localizer (rebuilt
-    /// only after an update cycle replaces the database).
+    /// database, using the default-config localizer whose prepared
+    /// query structures were built when the database was published
+    /// (register / commit / restore).
     ///
     /// # Errors
     ///
     /// [`CoreError::InvalidArgument`] for an unknown id; otherwise
     /// propagates matching errors.
     pub fn localize(&self, id: DeploymentId, y: &[f64]) -> Result<LocationEstimate> {
-        let dep = self.get(id)?;
-        dep.localizer
-            .get_or_init(|| Localizer::new(dep.current.clone(), LocalizerConfig::default()))
-            .localize(y)
+        self.get(id)?.localizer.localize(y)
+    }
+
+    /// Localizes a slab of online measurements against the
+    /// deployment's current database, fanning fixed-size chunks across
+    /// the persistent worker pool ([`Localizer::localize_batch`]).
+    /// Results are in slab order and identical to calling
+    /// [`UpdateService::localize`] per query, at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id; otherwise the
+    /// first per-query matching error in slab order.
+    pub fn localize_batch(
+        &self,
+        id: DeploymentId,
+        queries: &[Vec<f64>],
+    ) -> Result<Vec<LocationEstimate>> {
+        self.get(id)?.localizer.localize_batch(queries)
     }
 
     /// [`UpdateService::localize`] with an explicit localizer config
@@ -1134,6 +1155,27 @@ mod tests {
         let y = s.testbed(id).unwrap().online_measurement(7, 30.0, 99);
         let est = s.localize(id, &y).unwrap();
         assert!(est.grid < n);
+    }
+
+    #[test]
+    fn localize_batch_matches_per_query_calls() {
+        let mut s = fleet();
+        s.run_cycle(30.0, 5).unwrap();
+        let id = s.ids()[0];
+        let n = s.testbed(id).unwrap().deployment().num_locations();
+        let queries: Vec<Vec<f64>> = (0..n)
+            .map(|j| {
+                s.testbed(id)
+                    .unwrap()
+                    .online_measurement(j, 30.0, 200 + j as u64)
+            })
+            .collect();
+        let batch = s.localize_batch(id, &queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (y, b) in queries.iter().zip(&batch) {
+            assert_eq!(s.localize(id, y).unwrap(), *b);
+        }
+        assert!(s.localize_batch(DeploymentId(99), &queries).is_err());
     }
 
     #[test]

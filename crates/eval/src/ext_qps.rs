@@ -1,0 +1,130 @@
+//! Extension experiment (not in the paper): a heavy-traffic read-path
+//! day over the fleet — hundreds of thousands of localization queries
+//! replayed through [`UpdateService::localize_batch`], interleaved
+//! with the paper's update cycles.
+//!
+//! The point of the scenario is *exactness at scale*: every batched
+//! estimate is checked against a freshly built unprepared-path oracle
+//! (`Localizer::localize_unprepared`) over the same published
+//! database. The prepared structures, the lane-blocked pursuit, and
+//! the chunked pool fan-out may only change cost, never answers — this
+//! replay asserts it over the whole fleet and the whole campaign, at
+//! every one of the paper's update timestamps.
+
+use crate::ext_fleet::standard_fleet;
+use crate::report::{FigureResult, Series};
+use crate::scenario::{TIMESTAMPS, UPDATE_SAMPLES};
+use iupdater_core::prelude::*;
+
+/// Queries replayed per grid cell per timestamp in the heavy [`run`]:
+/// with the three-environment fleet and the five paper timestamps this
+/// lands in the hundreds of thousands of localizations.
+const HEAVY_QUERIES_PER_CELL: usize = 140;
+
+/// Runs the heavy-traffic replay (see [`run_with`]).
+pub fn run() -> FigureResult {
+    run_with(HEAVY_QUERIES_PER_CELL)
+}
+
+/// Replays `queries_per_cell` online measurements per grid cell per
+/// deployment at each paper timestamp, interleaved with update cycles:
+/// cycle commits (rebuilding each deployment's prepared localizer at
+/// the publish point), then the whole query slab runs through the
+/// batched read path and every estimate is asserted equal — grid,
+/// support, coefficients, residual bits — to the unprepared oracle.
+///
+/// # Panics
+///
+/// Panics if any cycle fails or any batched estimate deviates from the
+/// unprepared path (that would be a parity bug; the read path must
+/// never trade accuracy for speed).
+pub fn run_with(queries_per_cell: usize) -> FigureResult {
+    let mut service = standard_fleet(crate::scenario::DEFAULT_SEED);
+    let ids = service.ids();
+    let mut errs: Vec<Vec<f64>> = vec![Vec::new(); ids.len()];
+    let mut total_queries = 0usize;
+
+    for &(_, day) in TIMESTAMPS.iter() {
+        service.run_cycle(day, UPDATE_SAMPLES).expect("fleet cycle");
+        for (k, &id) in ids.iter().enumerate() {
+            let t = service.testbed(id).expect("registered id");
+            let n = t.deployment().num_locations();
+            let queries: Vec<Vec<f64>> = (0..n * queries_per_cell)
+                .map(|q| t.online_measurement(q % n, day, (day as u64) * 100_000 + q as u64))
+                .collect();
+            let batch = service
+                .localize_batch(id, &queries)
+                .expect("batched localization");
+            assert_eq!(batch.len(), queries.len());
+
+            // The oracle: a from-scratch localizer over the same
+            // published database, answering through the original
+            // scalar path.
+            let oracle = Localizer::new(
+                service.fingerprint(id).expect("registered id").clone(),
+                LocalizerConfig::default(),
+            );
+            let d = service.testbed(id).expect("registered id").deployment();
+            let mut err_sum = 0.0;
+            for (q, (y, est)) in queries.iter().zip(&batch).enumerate() {
+                let truth = oracle.localize_unprepared(y).expect("oracle localization");
+                assert_eq!(
+                    est, &truth,
+                    "batched estimate deviated from the unprepared path \
+                     (deployment {k}, day {day}, query {q})"
+                );
+                assert_eq!(est.residual_sq.to_bits(), truth.residual_sq.to_bits());
+                err_sum += d.location(q % n).distance(d.location(est.grid));
+            }
+            errs[k].push(err_sum / queries.len() as f64);
+            total_queries += queries.len();
+        }
+    }
+
+    let mut result = FigureResult {
+        id: "ext-qps".into(),
+        title: "Heavy-traffic read path: batched queries vs unprepared oracle".into(),
+        axes: (
+            "update timestamp".into(),
+            "mean localization error [m]".into(),
+        ),
+        x_labels: TIMESTAMPS.iter().map(|(l, _)| (*l).to_string()).collect(),
+        series: Vec::new(),
+        notes: Vec::new(),
+    };
+    for (k, &id) in ids.iter().enumerate() {
+        let name = service.name(id).expect("registered id").to_string();
+        result.series.push(Series::from_ys(name, &errs[k]));
+    }
+    result.notes.push(format!(
+        "{total_queries} localizations served through the batched prepared \
+         path, interleaved with {} update cycles; every estimate equals the \
+         unprepared scalar path exactly (bit-identical residuals)",
+        TIMESTAMPS.len()
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_is_exact_and_errors_bounded() {
+        // Small per-cell load to stay affordable in the debug tier;
+        // the exactness assertions inside run_with are the test.
+        let result = run_with(2);
+        assert_eq!(result.series.len(), 3);
+        for s in &result.series {
+            assert_eq!(s.points.len(), TIMESTAMPS.len());
+            for &(_, y) in &s.points {
+                assert!(
+                    y.is_finite() && (0.0..8.0).contains(&y),
+                    "{}: {y} m",
+                    s.label
+                );
+            }
+        }
+        assert!(result.notes[0].contains("unprepared scalar path exactly"));
+    }
+}

@@ -18,6 +18,7 @@ pub mod scenario;
 pub mod ablations;
 pub mod ext_durability;
 pub mod ext_fleet;
+pub mod ext_qps;
 pub mod ext_samples;
 pub mod ext_scale;
 pub mod ext_tracking;
@@ -179,6 +180,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "ext-durability",
             "Durable fleet: kill/restore parity mid-campaign (this repo)",
             ext_durability::run,
+        ),
+        (
+            "ext-qps",
+            "Heavy-traffic localization day through the batched read path (this repo)",
+            ext_qps::run,
         ),
     ]
 }

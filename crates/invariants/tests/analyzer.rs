@@ -97,8 +97,8 @@ fn drifted_doc_constant_is_flagged() {
     assert_eq!(out[0].file, "ARCHITECTURE.md");
     assert_eq!(out[0].line, 3);
     assert!(out[0].message.contains("TINY_INNER_MAX"));
-    // The six agreeing citations still count as cross-checked.
-    assert_eq!(checked.len(), 6);
+    // The seven agreeing citations still count as cross-checked.
+    assert_eq!(checked.len(), 7);
 }
 
 #[test]

@@ -7,3 +7,4 @@ pub const BT_TILE: usize = 32;
 pub const PIVOT_DRIFT_TOL: f64 = 1e-8;
 pub const PIVOT_TIE_TOL: f64 = 1.0;
 pub const PIVOT_TIE_SPAN_TOL: f64 = 1e-12;
+pub const QUERY_CHOL_TOL: f64 = 1e-8;

@@ -50,7 +50,13 @@ impl Matrix {
                     pivot_row = i;
                 }
             }
-            if pivot_val < f64::EPSILON * (n as f64) * self.max_abs().max(1.0) {
+            // Scale-relative singularity floor: relative to the
+            // largest input entry, so a uniformly tiny-scaled but
+            // well-conditioned system still solves (an absolute
+            // `max(1.0)` floor rejected e.g. 1e-10-scaled Gram
+            // systems as singular). `<=` keeps the all-zero matrix
+            // singular (both sides zero).
+            if pivot_val <= f64::EPSILON * (n as f64) * self.max_abs() {
                 return Err(LinalgError::Singular);
             }
             if pivot_row != k {
@@ -212,6 +218,23 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         assert!(matches!(a.inverse(), Err(LinalgError::Singular)));
         assert_eq!(a.det().unwrap(), 0.0);
+        assert!(matches!(
+            Matrix::zeros(3, 3).solve(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular)
+        ));
+    }
+
+    #[test]
+    fn tiny_scaled_system_still_solves() {
+        // Regression: the singularity floor had an absolute
+        // `.max(1.0)` component, so this well-conditioned system
+        // scaled by 1e-10 was rejected as singular. The floor is
+        // relative to the largest entry now.
+        let s = 1e-10;
+        let a = Matrix::from_rows(&[&[2.0 * s, 1.0 * s], &[1.0 * s, 3.0 * s]]);
+        let x = a.solve(&[5.0 * s, 10.0 * s]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -141,8 +141,12 @@ impl BenchmarkGroup<'_> {
         let median = samples_ns[samples_ns.len() / 2];
         let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
         let min = samples_ns[0];
+        // Nearest-rank p99 (ceil(0.99 n) - 1): the tail-latency figure
+        // the query read-path benches report alongside the median.
+        let p99 = samples_ns[(samples_ns.len() * 99).div_ceil(100).min(samples_ns.len()) - 1];
         println!(
-            "bench: {full} median_ns:{median:.0} mean_ns:{mean:.0} min_ns:{min:.0} samples:{}",
+            "bench: {full} median_ns:{median:.0} mean_ns:{mean:.0} min_ns:{min:.0} \
+             p99_ns:{p99:.0} samples:{}",
             samples_ns.len()
         );
         self

@@ -78,6 +78,31 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "replay" => {
+            let (Some(env), Some(db_path)) = (get("env"), get("db")) else {
+                eprintln!("replay requires --env and --db");
+                return ExitCode::from(2);
+            };
+            let queries_per_cell = match get("queries-per-cell") {
+                None => 4,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--queries-per-cell must be an integer");
+                        return ExitCode::from(2);
+                    }
+                },
+            };
+            match fs::read_to_string(&db_path) {
+                Ok(db) => {
+                    cli::cmd_replay(&env, seed, &db, day, queries_per_cell).map(|r| print!("{r}"))
+                }
+                Err(e) => {
+                    eprintln!("cannot read {db_path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
         "info" => {
             let Some(db_path) = get("db") else {
                 eprintln!("info requires --db");

@@ -138,6 +138,84 @@ pub fn cmd_localize(
     Ok(out)
 }
 
+/// `replay`: a heavy-traffic read-path drill. Generates
+/// `queries_per_cell` online measurements for every grid cell, serves
+/// the whole slab through [`Localizer::localize_batch`] (the prepared,
+/// pool-fanned path), and cross-checks every estimate against the
+/// unprepared scalar matcher. Reports slab size, the parity outcome,
+/// mean localization error and the exact-cell hit rate.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on malformed input and
+/// [`CliError::Pipeline`] on matching failure or — the reason this
+/// command exists — any batched estimate deviating from the unprepared
+/// path.
+pub fn cmd_replay(
+    env: &str,
+    seed: u64,
+    db_text: &str,
+    day: f64,
+    queries_per_cell: usize,
+) -> Result<String, CliError> {
+    let testbed = Testbed::new(parse_environment(env)?, seed);
+    let db = persist::read_fingerprint(db_text.as_bytes())
+        .map_err(|e| CliError::Pipeline(format!("cannot read database: {e}")))?;
+    let d = testbed.deployment();
+    if db.num_links() != d.num_links() {
+        return Err(CliError::Usage(format!(
+            "database has {} links but environment '{env}' has {}",
+            db.num_links(),
+            d.num_links()
+        )));
+    }
+    let n = d.num_locations();
+    let per_cell = queries_per_cell.max(1);
+    let queries: Vec<Vec<f64>> = (0..n * per_cell)
+        .map(|q| testbed.online_measurement(q % n, day, 0xbee + q as u64))
+        .collect();
+
+    let localizer = Localizer::new(db, LocalizerConfig::default());
+    let estimates = localizer
+        .localize_batch(&queries)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let mut err_sum = 0.0;
+    let mut hits = 0usize;
+    for (q, (y, est)) in queries.iter().zip(&estimates).enumerate() {
+        let oracle = localizer
+            .localize_unprepared(y)
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        if est != &oracle {
+            return Err(CliError::Pipeline(format!(
+                "batched estimate for query {q} (cell {}) deviates from the \
+                 unprepared matcher — prepared read path parity violation",
+                q % n
+            )));
+        }
+        let cell = q % n;
+        err_sum += d.location(cell).distance(d.location(est.grid));
+        hits += usize::from(est.grid == cell);
+    }
+
+    let total = queries.len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replayed {total} queries ({per_cell} per cell, {n} cells) through the batched read path"
+    );
+    let _ = writeln!(
+        out,
+        "exact parity with the unprepared matcher: {total}/{total} queries"
+    );
+    let _ = writeln!(
+        out,
+        "mean error: {:.2} m | exact-cell rate: {:.1}%",
+        err_sum / total as f64,
+        100.0 * hits as f64 / total as f64
+    );
+    Ok(out)
+}
+
 /// `info`: summarises a serialised database.
 ///
 /// # Errors
@@ -397,6 +475,8 @@ pub fn usage() -> &'static str {
        iupdater survey   --env <office|library|hall> [--seed N] [--day D] [--samples S]\n\
        iupdater update   --env <...> --prior <db file> [--seed N] [--day D] [--samples S]\n\
        iupdater localize --env <...> --db <db file> --cell J [--seed N] [--day D]\n\
+       iupdater replay   --env <...> --db <db file> [--seed N] [--day D]\n\
+                         [--queries-per-cell Q]\n\
        iupdater info     --db <db file>\n\
        iupdater batch    --envs <e1,e2,...> --days <d1,d2,...> [--seed N] [--samples S]\n\
                          [--snapshot-dir DIR] [--rebase-every N]\n\
@@ -405,6 +485,9 @@ pub fn usage() -> &'static str {
        iupdater restore  --snapshot <snap file> [--days <d1,...>] [--samples S]\n\
      \n\
      `survey` and `update` print the database to stdout (redirect to a file).\n\
+     `replay` drills the batched read path: Q queries per grid cell served\n\
+     through the prepared localizer, every estimate cross-checked against\n\
+     the unprepared scalar matcher (a parity violation is a hard error).\n\
      `batch` runs an update-service fleet: one deployment per environment,\n\
      update cycles across all deployments in parallel at each listed day;\n\
      with --snapshot-dir the fleet is checkpointed to DIR/fleet.snap after\n\
@@ -439,6 +522,38 @@ mod tests {
         let report = cmd_localize("library", 5, &updated, 30, 45.0).unwrap();
         assert!(report.contains("estimated:"));
         assert!(report.contains("error:"));
+    }
+
+    #[test]
+    fn replay_reports_exact_parity_over_updated_database() {
+        let db = cmd_survey("office", 9, 0.0, 5).unwrap();
+        let (updated, _) = cmd_update("office", 9, &db, 15.0, 5).unwrap();
+        let report = cmd_replay("office", 9, &updated, 15.0, 3).unwrap();
+        assert!(
+            report.contains("replayed 288 queries (3 per cell, 96 cells)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("exact parity with the unprepared matcher: 288/288"),
+            "{report}"
+        );
+        assert!(report.contains("exact-cell rate:"), "{report}");
+        // Zero queries-per-cell is clamped to one, not an error.
+        let min = cmd_replay("office", 9, &updated, 15.0, 0).unwrap();
+        assert!(min.contains("replayed 96 queries (1 per cell"), "{min}");
+    }
+
+    #[test]
+    fn replay_rejects_mismatched_database() {
+        let db = cmd_survey("library", 5, 0.0, 2).unwrap(); // 6 links
+        assert!(matches!(
+            cmd_replay("office", 5, &db, 0.0, 2),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_replay("office", 5, "garbage", 0.0, 2),
+            Err(CliError::Pipeline(_))
+        ));
     }
 
     #[test]
