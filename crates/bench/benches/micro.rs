@@ -631,6 +631,79 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gateway(c: &mut Criterion) {
+    // The serving layer (PR 10): query latency through the gateway's
+    // epoch-swapped published snapshots while the drive loop is idle
+    // vs while update cycles commit concurrently. The epoch swap must
+    // keep the read path contention-free — the contended p99 (from the
+    // harness line) is the headline number.
+    let mut group = c.benchmark_group("gateway");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(40);
+
+    let twin = Testbed::new(Environment::office(), 1);
+    let mut service = UpdateService::new();
+    service
+        .register(
+            "office",
+            Testbed::new(Environment::office(), 1),
+            UpdaterConfig::default(),
+            20,
+        )
+        .unwrap();
+    let gw = FleetGateway::launch(service).unwrap();
+    let id = gw.ids()[0];
+    let n = twin.deployment().num_locations();
+    let queries: Vec<Vec<f64>> = (0..256)
+        .map(|q| twin.online_measurement(q % n, 0.0, 900 + q as u64))
+        .collect();
+
+    // The gateway path changes cost, never answers: assert exact
+    // parity with the unprepared oracle on the published epoch before
+    // timing anything.
+    let snap = gw.published(id).unwrap();
+    let oracle = Localizer::new(snap.fingerprint().clone(), LocalizerConfig::default());
+    for (y, b) in queries.iter().zip(&snap.localize_batch(&queries).unwrap()) {
+        assert_eq!(
+            oracle.localize_unprepared(y).unwrap(),
+            *b,
+            "gateway bench slab must match the unprepared oracle"
+        );
+    }
+    drop(snap);
+
+    group.bench_function("single_idle_8x96", |b| {
+        b.iter(|| gw.localize(id, black_box(&queries[17])).unwrap())
+    });
+    group.bench_function("batch_256_idle_8x96", |b| {
+        b.iter(|| gw.localize_batch(id, black_box(&queries)).unwrap())
+    });
+
+    // Same reads while the drive loop commits cycle after cycle: the
+    // writer may only steal throughput, never block a reader.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (gw, stop) = (&gw, &stop);
+        let driver = s.spawn(move || {
+            let mut day = 5.0;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                gw.run_cycle(day, 2).unwrap();
+                day += 5.0;
+            }
+        });
+        group.bench_function("single_contended_8x96", |b| {
+            b.iter(|| gw.localize(id, black_box(&queries[17])).unwrap())
+        });
+        group.bench_function("batch_256_contended_8x96", |b| {
+            b.iter(|| gw.localize_batch(id, black_box(&queries)).unwrap())
+        });
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        driver.join().unwrap();
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_linalg,
@@ -643,6 +716,7 @@ criterion_group!(
     bench_solver_scale,
     bench_warm_start,
     bench_incremental_qr,
-    bench_query
+    bench_query,
+    bench_gateway
 );
 criterion_main!(benches);

@@ -50,6 +50,14 @@
 //!    [`service::UpdateService`] runs update cycles across its fleet
 //!    in parallel and owns each deployment's live database.
 //!
+//! Above the service sits the read/write-separated serving layer:
+//! [`gateway::FleetGateway`] moves the service onto a detached drive
+//! loop and publishes each deployment's committed database + prepared
+//! localizer in an epoch-swapped [`gateway::PublishedSnapshot`], so
+//! localization queries never contend with an in-flight update cycle
+//! (see the [`gateway`] module docs for the epoch-publication
+//! invariant and the ingest backpressure policy).
+//!
 //! # Architecture: incremental updater construction
 //!
 //! Building an update engine ([`Updater::new`]) means extracting the
@@ -130,6 +138,7 @@ pub mod correlation;
 pub mod decrease;
 mod error;
 pub mod fingerprint;
+pub mod gateway;
 pub mod localize;
 pub mod metrics;
 pub mod mic;
@@ -150,10 +159,11 @@ pub mod tracking;
 pub use config::{CouplingMode, LocalizerConfig, ScalingMode, UpdaterConfig};
 pub use error::CoreError;
 pub use fingerprint::FingerprintMatrix;
+pub use gateway::{CycleTicket, FleetGateway, PublishedSnapshot, ShutdownReport};
 pub use localize::{Localizer, LocationEstimate};
 pub use query::{PreparedDictionary, QueryScratch};
 pub use reconstruct::Updater;
-pub use service::{DeploymentId, UpdateOutcome, UpdateService};
+pub use service::{DeploymentId, MeasurementBatch, UpdateOutcome, UpdateService};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -164,9 +174,12 @@ pub mod prelude {
         CouplingMode, LocalizerConfig, ScalingMode, SweepOrder, UpdaterConfig,
     };
     pub use crate::fingerprint::FingerprintMatrix;
+    pub use crate::gateway::{CycleTicket, FleetGateway, PublishedSnapshot, ShutdownReport};
     pub use crate::localize::{Localizer, LocationEstimate};
     pub use crate::query::{PreparedDictionary, QueryScratch};
     pub use crate::reconstruct::Updater;
-    pub use crate::service::{DeploymentId, UpdateOutcome, UpdateService};
+    pub use crate::service::{
+        DeploymentId, MeasurementBatch, ServiceSnapshot, UpdateOutcome, UpdateService,
+    };
     pub use crate::CoreError;
 }

@@ -108,7 +108,7 @@ impl Localizer {
     /// output is identical at any worker count — and element-for-element
     /// identical to calling [`Self::localize`] in a loop. Under the
     /// binary-residual model, each chunk additionally advances
-    /// [`BINARY_LANES`] queries per sweep of the atom rows (interleaved
+    /// `BINARY_LANES` queries per sweep of the atom rows (interleaved
     /// distance chains — same bits, vectorised cost).
     ///
     /// # Errors

@@ -479,6 +479,36 @@ impl UpdateService {
             .map(|dep| dep.queue.clear())
     }
 
+    /// Removes and returns every pending batch for the deployment, in
+    /// queue (day) order. Unlike [`UpdateService::clear_ingest_queue`]
+    /// the batches are handed back, not discarded — this is what lets
+    /// a shutting-down gateway *drain* its accepted-but-uncommitted
+    /// ingest instead of silently dropping it (see
+    /// [`crate::gateway::FleetGateway::shutdown`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn drain_ingest_queue(&mut self, id: DeploymentId) -> Result<Vec<MeasurementBatch>> {
+        self.deployments
+            .get_mut(id.0)
+            .ok_or(CoreError::InvalidArgument("unknown deployment id"))
+            .map(|dep| dep.queue.drain_all())
+    }
+
+    /// The deployment's current default-config localizer, with the
+    /// prepared query structures that were built at the last publish
+    /// point (register / commit / restore). The gateway clones this at
+    /// commit time to publish an immutable snapshot, so queries never
+    /// pay a rebuild.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an unknown id.
+    pub fn localizer(&self, id: DeploymentId) -> Result<&Localizer> {
+        Ok(&self.get(id)?.localizer)
+    }
+
     /// Queues a measurement batch for the deployment; the next
     /// [`UpdateService::run_cycle`] will solve and commit it.
     ///

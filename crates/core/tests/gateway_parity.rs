@@ -1,0 +1,331 @@
+//! **gateway_parity** — the concurrency golden-parity tier.
+//!
+//! The [`FleetGateway`] promises that read/write separation changes
+//! *when* work runs, never *what* queries answer: every estimate
+//! served during an in-flight update cycle must be bit-identical to
+//! the unprepared oracle (`Localizer::localize_unprepared`) evaluated
+//! on the **epoch the reader observed** — never a torn or mid-commit
+//! database. This tier drives query storms concurrently with update
+//! cycles at pool widths 1/2/4/7 (the rayon shim's test-only
+//! override), plus:
+//!
+//! - an epoch-monotonicity proptest hammering the publication cell
+//!   ([`EpochCell`]) with concurrent publishers and readers,
+//! - a commit-atomicity test (a reader pinned across a commit keeps
+//!   completing against its original epoch, which is retired only
+//!   when unreferenced),
+//! - the drain-not-drop pin: an acknowledged ingest batch is either
+//!   committed by a cycle or returned by shutdown, end to end.
+//!
+//! The width override is process-global, so exactly one test in this
+//! file touches it; every assertion in the others is width-independent
+//! (that independence is itself the contract `pool_determinism` pins).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use iupdater_core::gateway::EpochCell;
+use iupdater_core::prelude::*;
+use iupdater_rfsim::{Environment, Testbed};
+use proptest::prelude::*;
+
+const SEED: u64 = 1207;
+
+/// Two-deployment fleet (office + library) with a small survey, plus
+/// per-deployment query slabs generated from twin testbeds before the
+/// gateway takes ownership.
+fn fleet_and_queries() -> (UpdateService, Vec<DeploymentId>, Vec<Vec<Vec<f64>>>) {
+    let mut service = UpdateService::new();
+    let mut queries = Vec::new();
+    for (k, env) in [Environment::office(), Environment::library()]
+        .into_iter()
+        .enumerate()
+    {
+        let name = format!("dep{k}");
+        let testbed = Testbed::new(env, SEED + k as u64);
+        let slab: Vec<Vec<f64>> = (0..24)
+            .map(|q| {
+                let n = testbed.deployment().num_locations();
+                testbed.online_measurement(q % n, 5.0 + q as f64, SEED * 1000 + q as u64)
+            })
+            .collect();
+        queries.push(slab);
+        service
+            .register(name, testbed, UpdaterConfig::default(), 3)
+            .expect("register");
+    }
+    let ids = service.ids();
+    (service, ids, queries)
+}
+
+/// The oracle on the epoch the reader observed: a from-scratch
+/// localizer over the snapshot's own database, answering through the
+/// original scalar path.
+fn oracle_estimate(snap: &PublishedSnapshot, y: &[f64]) -> LocationEstimate {
+    Localizer::new(snap.fingerprint().clone(), LocalizerConfig::default())
+        .localize_unprepared(y)
+        .expect("oracle localization")
+}
+
+#[test]
+fn query_storms_match_the_observed_epoch_oracle_at_every_pool_width() {
+    let days = [5.0, 10.0, 15.0];
+    let mut final_dbs_at_width_1: Vec<FingerprintMatrix> = Vec::new();
+
+    for width in [1usize, 2, 4, 7] {
+        rayon::set_num_threads_for_tests(width);
+        // Built *after* the width is set: engines cache the width at
+        // construction.
+        let (service, ids, queries) = fleet_and_queries();
+        let gw = FleetGateway::launch(service).expect("launch");
+        let done = AtomicBool::new(false);
+        let checked = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            // The writer: update cycles on the drive loop, one after
+            // another, while the storm below keeps reading.
+            let driver = s.spawn(|| {
+                for day in days {
+                    gw.run_cycle(day, 2).expect("cycle");
+                }
+                done.store(true, Ordering::Release);
+            });
+
+            // The storm: two reader threads plus this one, each
+            // pinning a snapshot per read and checking it against the
+            // oracle on that exact epoch.
+            let mut readers = Vec::new();
+            for r in 0..3 {
+                let gw = &gw;
+                let ids = &ids;
+                let queries = &queries;
+                let done = &done;
+                let checked = &checked;
+                readers.push(s.spawn(move || {
+                    let mut last_epoch = vec![0u64; ids.len()];
+                    let mut rounds = 0usize;
+                    while !done.load(Ordering::Acquire) || rounds < 12 {
+                        for (k, &id) in ids.iter().enumerate() {
+                            let snap = gw.published(id).expect("published");
+                            // Epoch monotonicity per reader.
+                            assert!(
+                                snap.epoch() >= last_epoch[k],
+                                "epoch moved backwards: {} after {}",
+                                snap.epoch(),
+                                last_epoch[k]
+                            );
+                            last_epoch[k] = snap.epoch();
+                            // One pinned-epoch estimate per round…
+                            let y = &queries[k][(rounds * 3 + r) % queries[k].len()];
+                            let est = snap.localize(y).expect("localize");
+                            let truth = oracle_estimate(&snap, y);
+                            assert_eq!(est, truth, "torn read at width {width}");
+                            assert_eq!(est.residual_sq.to_bits(), truth.residual_sq.to_bits());
+                            // …and periodically a batched slab on the
+                            // same pinned epoch (pool fan-out racing
+                            // the cycle's own pool use).
+                            if rounds.is_multiple_of(6) {
+                                let slab = &queries[k][..8];
+                                let batch = snap.localize_batch(slab).expect("batch");
+                                for (y, est) in slab.iter().zip(&batch) {
+                                    let truth = oracle_estimate(&snap, y);
+                                    assert_eq!(est, &truth);
+                                }
+                            }
+                            checked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        rounds += 1;
+                    }
+                }));
+            }
+            driver.join().expect("driver");
+            for r in readers {
+                r.join().expect("reader");
+            }
+        });
+
+        assert!(
+            checked.load(Ordering::Relaxed) >= 36,
+            "storm did not exercise the read path"
+        );
+        // Every committed cycle published exactly one epoch.
+        let mut finals = Vec::new();
+        for &id in &ids {
+            assert_eq!(gw.epoch(id).expect("epoch"), 1 + days.len() as u64);
+            finals.push(gw.published(id).expect("published").fingerprint().clone());
+        }
+        // The final databases are width-independent (the service
+        // guarantee, re-pinned through the gateway path).
+        if width == 1 {
+            final_dbs_at_width_1 = finals;
+        } else {
+            for (a, b) in finals.iter().zip(&final_dbs_at_width_1) {
+                assert!(
+                    a.matrix().approx_eq(b.matrix(), 0.0),
+                    "published database changed at width {width}"
+                );
+            }
+        }
+        gw.shutdown().expect("shutdown");
+    }
+    rayon::set_num_threads_for_tests(0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Monotonicity of the publication cell itself: under concurrent
+    /// publishers and readers, successive reads observe non-decreasing
+    /// epochs and never a value/epoch mismatch (the payload is its own
+    /// epoch number, so a torn read would show up as disagreement).
+    #[test]
+    fn epoch_cell_reads_are_monotone_and_untorn(
+        publishes in 2u64..48,
+        readers in 1usize..4,
+    ) {
+        let cell = EpochCell::new(Arc::new(1u64));
+        let last_epoch = 1 + publishes;
+        std::thread::scope(|s| {
+            for _ in 0..readers {
+                let cell = &cell;
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let (epoch, value) = cell.read();
+                        assert_eq!(*value, epoch, "epoch/value tear");
+                        assert!(epoch >= last, "epoch moved backwards");
+                        last = epoch;
+                        if epoch == last_epoch {
+                            break;
+                        }
+                    }
+                });
+            }
+            for _ in 0..publishes {
+                let next = cell.epoch() + 1;
+                assert_eq!(cell.publish(Arc::new(next)), next);
+            }
+        });
+    }
+}
+
+#[test]
+fn a_reader_pinned_across_a_commit_stays_on_its_epoch() {
+    let (service, ids, queries) = fleet_and_queries();
+    let id = ids[0];
+    let gw = FleetGateway::launch(service).expect("launch");
+    gw.run_cycle(5.0, 2).expect("cycle");
+
+    // Pin epoch 2 and answer a slab on it.
+    let pinned = gw.published(id).expect("published");
+    assert_eq!(pinned.epoch(), 2);
+    let before: Vec<LocationEstimate> = queries[0]
+        .iter()
+        .map(|y| pinned.localize(y).expect("localize"))
+        .collect();
+
+    // A commit lands while the pin is held.
+    gw.run_cycle(10.0, 2).expect("cycle");
+    assert_eq!(gw.epoch(id).expect("epoch"), 3);
+
+    // The pinned reader still completes against its original epoch:
+    // same snapshot, same answers, bit for bit — and they match the
+    // oracle on the pinned database, not the new one.
+    assert_eq!(pinned.epoch(), 2);
+    assert_eq!(pinned.last_update_day(), 5.0);
+    for (y, b) in queries[0].iter().zip(&before) {
+        let again = pinned.localize(y).expect("localize");
+        assert_eq!(&again, b);
+        assert_eq!(again.residual_sq.to_bits(), b.residual_sq.to_bits());
+        let truth = oracle_estimate(&pinned, y);
+        assert_eq!(again, truth);
+    }
+    let fresh = gw.published(id).expect("published");
+    assert_eq!(fresh.epoch(), 3);
+    assert_eq!(fresh.last_update_day(), 10.0);
+
+    // Retirement: once the pin drops and both buffers have moved on,
+    // the old epoch is freed.
+    let weak = Arc::downgrade(&pinned);
+    drop(pinned);
+    gw.run_cycle(15.0, 2).expect("cycle");
+    assert!(
+        weak.upgrade().is_none(),
+        "unreferenced epoch 2 must be retired after two further commits"
+    );
+    gw.shutdown().expect("shutdown");
+}
+
+#[test]
+fn acknowledged_batches_are_committed_or_returned_never_lost() {
+    // Twin fleets: one behind a gateway (with a shutdown in the
+    // middle), one driven directly as the uninterrupted control.
+    let (service, ids, _) = fleet_and_queries();
+    let (mut control, control_ids, _) = fleet_and_queries();
+    let id = ids[0];
+
+    // Valid batches come from a twin testbed plus the pre-launch
+    // reference set.
+    let refs = service
+        .updater(id)
+        .expect("updater")
+        .reference_locations()
+        .to_vec();
+    let twin = Testbed::new(Environment::office(), SEED);
+    let batch_at =
+        |day: f64| MeasurementBatch::collect(&twin, &refs, day, 2).expect("collect batch");
+
+    let gw = FleetGateway::launch(service).expect("launch");
+    // Three acknowledged batches, committed by one cycle.
+    for day in [6.0, 7.0, 8.0] {
+        gw.ingest(id, batch_at(day)).expect("ingest");
+    }
+    let outcomes = gw.run_cycle(8.0, 2).expect("cycle");
+    assert_eq!(
+        outcomes.iter().filter(|o| o.id == id).count(),
+        3,
+        "all three queued batches commit in one cycle"
+    );
+
+    // Two more acknowledged batches, then shutdown: they must come
+    // back in ingest order.
+    gw.ingest(id, batch_at(9.0)).expect("ingest");
+    let refused = gw.try_ingest(id, batch_at(10.0)).expect("try_ingest");
+    assert!(refused.is_none(), "channel is idle; the batch is accepted");
+    let report = gw.shutdown().expect("shutdown");
+    let days: Vec<f64> = report.pending.iter().map(|(_, b)| b.day()).collect();
+    assert_eq!(days, vec![9.0, 10.0], "drained, not dropped, in order");
+    assert!(report.pending.iter().all(|&(pid, _)| pid == id));
+
+    // Relaunch the returned service, re-ingest the returned batches,
+    // finish the campaign.
+    let gw = FleetGateway::launch(report.service).expect("relaunch");
+    for (pid, batch) in report.pending {
+        gw.ingest(pid, batch).expect("re-ingest");
+    }
+    gw.run_cycle(10.0, 2).expect("cycle");
+    let served = gw.published(id).expect("published");
+
+    // The uninterrupted control commits the same batches through the
+    // plain service; nothing may differ.
+    let cid = control_ids[0];
+    for day in [6.0, 7.0, 8.0] {
+        control.ingest(cid, batch_at(day)).expect("ingest");
+    }
+    control.run_cycle(8.0, 2).expect("cycle");
+    for day in [9.0, 10.0] {
+        control.ingest(cid, batch_at(day)).expect("ingest");
+    }
+    control.run_cycle(10.0, 2).expect("cycle");
+    assert!(
+        served
+            .fingerprint()
+            .matrix()
+            .approx_eq(control.fingerprint(cid).expect("fingerprint").matrix(), 0.0),
+        "gateway shutdown/relaunch lost or reordered acknowledged data"
+    );
+    gw.shutdown().expect("shutdown");
+}

@@ -1,17 +1,19 @@
 //! Extension experiment (not in the paper): a heavy-traffic read-path
 //! day over the fleet — hundreds of thousands of localization queries
-//! replayed through [`UpdateService::localize_batch`], interleaved
-//! with the paper's update cycles.
+//! replayed through the [`FleetGateway`]'s epoch-swapped published
+//! snapshots, interleaved with the paper's update cycles.
 //!
 //! The point of the scenario is *exactness at scale*: every batched
-//! estimate is checked against a freshly built unprepared-path oracle
-//! (`Localizer::localize_unprepared`) over the same published
-//! database. The prepared structures, the lane-blocked pursuit, and
-//! the chunked pool fan-out may only change cost, never answers — this
-//! replay asserts it over the whole fleet and the whole campaign, at
-//! every one of the paper's update timestamps.
+//! estimate served from a published snapshot is checked against a
+//! freshly built unprepared-path oracle
+//! (`Localizer::localize_unprepared`) over the **same epoch's**
+//! database. The prepared structures, the lane-blocked pursuit, the
+//! chunked pool fan-out, and the read/write-separated gateway path may
+//! only change cost, never answers — this replay asserts it over the
+//! whole fleet and the whole campaign, at every one of the paper's
+//! update timestamps.
 
-use crate::ext_fleet::standard_fleet;
+use crate::ext_fleet::{standard_fleet, standard_testbeds};
 use crate::report::{FigureResult, Series};
 use crate::scenario::{TIMESTAMPS, UPDATE_SAMPLES};
 use iupdater_core::prelude::*;
@@ -27,11 +29,15 @@ pub fn run() -> FigureResult {
 }
 
 /// Replays `queries_per_cell` online measurements per grid cell per
-/// deployment at each paper timestamp, interleaved with update cycles:
-/// cycle commits (rebuilding each deployment's prepared localizer at
-/// the publish point), then the whole query slab runs through the
-/// batched read path and every estimate is asserted equal — grid,
-/// support, coefficients, residual bits — to the unprepared oracle.
+/// deployment at each paper timestamp, interleaved with update cycles
+/// driven through the gateway: each cycle commits on the drive loop
+/// and atomically publishes a new epoch per deployment; the whole
+/// query slab then runs through the pinned snapshot's batched read
+/// path and every estimate is asserted equal — grid, support,
+/// coefficients, residual bits — to the unprepared oracle built over
+/// that same epoch's database. Query traffic comes from twin testbeds
+/// ([`standard_testbeds`]) because the gateway owns the fleet's
+/// simulators on its drive loop.
 ///
 /// # Panics
 ///
@@ -39,38 +45,40 @@ pub fn run() -> FigureResult {
 /// unprepared path (that would be a parity bug; the read path must
 /// never trade accuracy for speed).
 pub fn run_with(queries_per_cell: usize) -> FigureResult {
-    let mut service = standard_fleet(crate::scenario::DEFAULT_SEED);
-    let ids = service.ids();
+    let seed = crate::scenario::DEFAULT_SEED;
+    let twins = standard_testbeds(seed);
+    let gw = FleetGateway::launch(standard_fleet(seed)).expect("gateway launch");
+    let ids = gw.ids().to_vec();
+    assert_eq!(ids.len(), twins.len());
     let mut errs: Vec<Vec<f64>> = vec![Vec::new(); ids.len()];
     let mut total_queries = 0usize;
 
-    for &(_, day) in TIMESTAMPS.iter() {
-        service.run_cycle(day, UPDATE_SAMPLES).expect("fleet cycle");
+    for (cycle, &(_, day)) in TIMESTAMPS.iter().enumerate() {
+        gw.run_cycle(day, UPDATE_SAMPLES).expect("fleet cycle");
         for (k, &id) in ids.iter().enumerate() {
-            let t = service.testbed(id).expect("registered id");
+            // Pin the epoch this reader observed; everything below —
+            // queries, oracle, assertions — runs against it.
+            let snap = gw.published(id).expect("published snapshot");
+            assert_eq!(snap.epoch(), 2 + cycle as u64, "one epoch per commit");
+            let t = &twins[k].1;
             let n = t.deployment().num_locations();
             let queries: Vec<Vec<f64>> = (0..n * queries_per_cell)
                 .map(|q| t.online_measurement(q % n, day, (day as u64) * 100_000 + q as u64))
                 .collect();
-            let batch = service
-                .localize_batch(id, &queries)
-                .expect("batched localization");
+            let batch = snap.localize_batch(&queries).expect("batched localization");
             assert_eq!(batch.len(), queries.len());
 
             // The oracle: a from-scratch localizer over the same
-            // published database, answering through the original
-            // scalar path.
-            let oracle = Localizer::new(
-                service.fingerprint(id).expect("registered id").clone(),
-                LocalizerConfig::default(),
-            );
-            let d = service.testbed(id).expect("registered id").deployment();
+            // epoch's published database, answering through the
+            // original scalar path.
+            let oracle = Localizer::new(snap.fingerprint().clone(), LocalizerConfig::default());
+            let d = t.deployment();
             let mut err_sum = 0.0;
             for (q, (y, est)) in queries.iter().zip(&batch).enumerate() {
                 let truth = oracle.localize_unprepared(y).expect("oracle localization");
                 assert_eq!(
                     est, &truth,
-                    "batched estimate deviated from the unprepared path \
+                    "gateway estimate deviated from the unprepared path \
                      (deployment {k}, day {day}, query {q})"
                 );
                 assert_eq!(est.residual_sq.to_bits(), truth.residual_sq.to_bits());
@@ -80,10 +88,11 @@ pub fn run_with(queries_per_cell: usize) -> FigureResult {
             total_queries += queries.len();
         }
     }
+    gw.shutdown().expect("gateway shutdown");
 
     let mut result = FigureResult {
         id: "ext-qps".into(),
-        title: "Heavy-traffic read path: batched queries vs unprepared oracle".into(),
+        title: "Heavy-traffic read path: gateway snapshots vs unprepared oracle".into(),
         axes: (
             "update timestamp".into(),
             "mean localization error [m]".into(),
@@ -92,14 +101,14 @@ pub fn run_with(queries_per_cell: usize) -> FigureResult {
         series: Vec::new(),
         notes: Vec::new(),
     };
-    for (k, &id) in ids.iter().enumerate() {
-        let name = service.name(id).expect("registered id").to_string();
-        result.series.push(Series::from_ys(name, &errs[k]));
+    for (k, (name, _)) in twins.iter().enumerate() {
+        result.series.push(Series::from_ys(name.clone(), &errs[k]));
     }
     result.notes.push(format!(
-        "{total_queries} localizations served through the batched prepared \
-         path, interleaved with {} update cycles; every estimate equals the \
-         unprepared scalar path exactly (bit-identical residuals)",
+        "{total_queries} localizations served from epoch-swapped gateway \
+         snapshots, interleaved with {} update cycles on the drive loop; \
+         every estimate equals the unprepared scalar path exactly \
+         (bit-identical residuals) on the epoch the reader observed",
         TIMESTAMPS.len()
     ));
     result
@@ -126,5 +135,6 @@ mod tests {
             }
         }
         assert!(result.notes[0].contains("unprepared scalar path exactly"));
+        assert!(result.notes[0].contains("epoch-swapped gateway"));
     }
 }

@@ -97,8 +97,8 @@ fn drifted_doc_constant_is_flagged() {
     assert_eq!(out[0].file, "ARCHITECTURE.md");
     assert_eq!(out[0].line, 3);
     assert!(out[0].message.contains("TINY_INNER_MAX"));
-    // The seven agreeing citations still count as cross-checked.
-    assert_eq!(checked.len(), 7);
+    // The nine agreeing citations still count as cross-checked.
+    assert_eq!(checked.len(), 9);
 }
 
 #[test]

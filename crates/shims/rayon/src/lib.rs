@@ -7,6 +7,9 @@
 //!   `.for_each(f)` over `Range<usize>`,
 //! - `items.par_iter().map(f).collect::<Vec<_>>()` over slices,
 //! - [`join`] for two-way fork-join,
+//! - [`spawn`] for detached fire-and-forget tasks (on a separate
+//!   long-lived task executor, so blocking tasks cannot starve the
+//!   data-parallel pool),
 //! - [`current_num_threads`].
 //!
 //! # The parallelism model
@@ -119,6 +122,95 @@ where
         let ra = a();
         (ra, hb.join().expect("rayon-shim join worker panicked"))
     })
+}
+
+// ---------------------------------------------------------------------------
+// Detached task spawning (long-lived task executor).
+// ---------------------------------------------------------------------------
+
+/// A spawned task: boxed so it can cross to a task-worker thread.
+type SpawnedTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// The task executor behind [`spawn`]: a registry of idle task-worker
+/// threads. Kept separate from the data-parallel worker pool above on
+/// purpose — spawned tasks may *block* for long stretches (a service
+/// gateway's drive loop parks on a channel between commands), which
+/// would starve the chunk-claiming pool if they occupied its workers.
+/// The same separation the real rayon achieves by running `spawn`ed
+/// work as asynchronous pool jobs, and bevy_tasks with its dedicated
+/// compute/IO pools.
+struct TaskExecutor {
+    /// Senders of parked task workers, ready to be handed a new task.
+    idle: Mutex<Vec<std::sync::mpsc::Sender<SpawnedTask>>>,
+}
+
+impl TaskExecutor {
+    fn global() -> &'static TaskExecutor {
+        static EXECUTOR: OnceLock<TaskExecutor> = OnceLock::new();
+        EXECUTOR.get_or_init(|| TaskExecutor {
+            idle: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Starts a fresh task-worker thread whose first job is `task`.
+    /// After each job the worker re-registers itself as idle and parks
+    /// on its channel; the thread is reused for later [`spawn`]s and
+    /// never dies on its own.
+    fn start_worker(&'static self, task: SpawnedTask) {
+        let (tx, rx) = std::sync::mpsc::channel::<SpawnedTask>();
+        std::thread::Builder::new()
+            .name("rayon-shim-task".into())
+            .spawn(move || {
+                let mut next = task;
+                loop {
+                    // A panicking task must not take the executor down:
+                    // catch it, drop the payload, and keep the worker.
+                    let _ = catch_unwind(AssertUnwindSafe(next));
+                    self.idle
+                        .lock()
+                        .expect("task executor mutex poisoned")
+                        .push(tx.clone());
+                    match rx.recv() {
+                        Ok(t) => next = t,
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn task worker");
+    }
+}
+
+/// Fires `f` off on a long-lived task-worker thread and returns
+/// immediately (the real rayon's `spawn` signature: detached,
+/// fire-and-forget). Workers are reused across calls: a finished
+/// worker parks and picks up the next `spawn`, so steady-state use
+/// costs a channel send instead of an OS thread spawn. A panicking
+/// task is caught and discarded without poisoning the executor.
+///
+/// Unlike the chunk-claiming data-parallel pool, spawned tasks may
+/// block indefinitely (channel recv loops, long drives); each runs on
+/// its own thread, so they cannot starve `par_iter` work.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let exec = TaskExecutor::global();
+    let task: SpawnedTask = Box::new(f);
+    let recycled = exec
+        .idle
+        .lock()
+        .expect("task executor mutex poisoned")
+        .pop();
+    match recycled {
+        // A parked worker can only disappear if its task panicked
+        // while unparked (send then fails); fall back to a new thread.
+        Some(tx) => {
+            if let Err(std::sync::mpsc::SendError(task)) = tx.send(task) {
+                exec.start_worker(task);
+            }
+        }
+        None => exec.start_worker(task),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -602,6 +694,54 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 123);
+    }
+
+    #[test]
+    fn spawn_runs_detached_tasks() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            super::spawn(move || tx.send(i).expect("receiver alive"));
+        }
+        let mut got: Vec<usize> = rx.iter().take(8).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spawn_reuses_parked_task_workers() {
+        use std::thread::ThreadId;
+        let run = |tag: &'static str| -> ThreadId {
+            let (tx, rx) = std::sync::mpsc::channel();
+            super::spawn(move || {
+                tx.send(std::thread::current().id())
+                    .expect("receiver alive");
+            });
+            rx.recv().unwrap_or_else(|_| panic!("{tag} task never ran"))
+        };
+        // The first task parks its worker on completion; sequential
+        // spawns must then land on a recycled thread at least once
+        // (several attempts, since another test's spawn may race for
+        // the parked worker).
+        let first = run("first");
+        let reused = (0..16).any(|_| run("retry") == first);
+        assert!(reused, "no spawn ever reused a parked task worker");
+    }
+
+    #[test]
+    fn spawn_survives_a_panicking_task() {
+        let (panicked_tx, panicked_rx) = std::sync::mpsc::channel::<()>();
+        super::spawn(move || {
+            // Dropping the sender signals "the task ran" even though
+            // it then unwinds.
+            drop(panicked_tx);
+            panic!("deliberate task panic");
+        });
+        assert!(panicked_rx.recv().is_err(), "panicking task never ran");
+        // The executor must still accept and run new tasks.
+        let (tx, rx) = std::sync::mpsc::channel();
+        super::spawn(move || tx.send(41 + 1).expect("receiver alive"));
+        assert_eq!(rx.recv(), Ok(42));
     }
 
     #[test]

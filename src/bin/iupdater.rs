@@ -144,6 +144,26 @@ fn main() -> ExitCode {
             )
             .map(|r| print!("{r}"))
         }
+        "serve" => {
+            let (Some(envs), Some(days)) = (get("envs"), get("days")) else {
+                eprintln!("serve requires --envs and --days (comma-separated lists)");
+                return ExitCode::from(2);
+            };
+            let queries_per_cell = match get("queries-per-cell") {
+                None => 4,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--queries-per-cell must be an integer");
+                        return ExitCode::from(2);
+                    }
+                },
+            };
+            cli::cmd_serve(&envs, seed, &days, samples, queries_per_cell).map(|(snap, report)| {
+                eprint!("{report}");
+                print!("{snap}");
+            })
+        }
         "snapshot" => {
             let Some(envs) = get("envs") else {
                 eprintln!("snapshot requires --envs (comma-separated list)");

@@ -133,6 +133,72 @@ fn heavily_noisy_update_day_still_converges() {
 }
 
 #[test]
+fn gateway_killed_mid_cycle_restores_bit_identically_from_checkpoint() {
+    // The PR-2 durability drill, replayed through the serving layer: a
+    // gateway is killed while an update cycle is in flight, restored
+    // from its last checkpoint, and must thereafter serve queries
+    // bit-identically to an uninterrupted control gateway.
+    use iupdater::core::persist::{read_service, write_service};
+
+    fn build() -> UpdateService {
+        let mut service = UpdateService::new();
+        let testbed = Testbed::new(Environment::office(), SEED);
+        service
+            .register("office", testbed, UpdaterConfig::default(), 3)
+            .unwrap();
+        service
+    }
+
+    // Control: uninterrupted cycles on days 5 and 15.
+    let control = FleetGateway::launch(build()).unwrap();
+    let cid = control.ids()[0];
+    control.run_cycle(5.0, 2).unwrap();
+    control.run_cycle(15.0, 2).unwrap();
+
+    // Victim: cycle 5, checkpoint, then killed mid-cycle on day 15 —
+    // the gateway is dropped with the ticket still unresolved, which
+    // closes the command channel out from under the drive loop.
+    let victim = FleetGateway::launch(build()).unwrap();
+    victim.run_cycle(5.0, 2).unwrap();
+    let mut checkpoint = Vec::new();
+    write_service(&victim.snapshot().unwrap(), &mut checkpoint).unwrap();
+    let ticket = victim.begin_cycle(15.0, 2).unwrap();
+    drop(victim);
+    // Whatever the in-flight cycle reports (completion or a dead
+    // gateway), the checkpoint predates it and is all that survives.
+    let _ = ticket.wait();
+
+    // Restore from the last checkpoint and replay the lost day.
+    let snapshot = read_service(&checkpoint[..]).unwrap();
+    let restored = FleetGateway::restore(&snapshot).unwrap();
+    let rid = restored.ids()[0];
+    restored.run_cycle(15.0, 2).unwrap();
+
+    // Published snapshots now serve bit-identically to the control.
+    let a = restored.published(rid).unwrap();
+    let b = control.published(cid).unwrap();
+    assert_eq!(a.cycles_run(), b.cycles_run());
+    assert_eq!(a.last_update_day(), b.last_update_day());
+    assert!(
+        a.fingerprint()
+            .matrix()
+            .approx_eq(b.fingerprint().matrix(), 0.0),
+        "restored database must be bit-identical to the control"
+    );
+    let testbed = Testbed::new(Environment::office(), SEED);
+    let n = testbed.deployment().num_locations();
+    for q in 0..12u64 {
+        let y = testbed.online_measurement(q as usize % n, 15.0, SEED + q);
+        let ea = a.localize(&y).unwrap();
+        let eb = b.localize(&y).unwrap();
+        assert_eq!(ea, eb);
+        assert_eq!(ea.residual_sq.to_bits(), eb.residual_sq.to_bits());
+    }
+    restored.shutdown().unwrap();
+    control.shutdown().unwrap();
+}
+
+#[test]
 fn single_sample_updates_remain_useful() {
     // The paper collects 5 samples; even 1 sample per reference cell
     // should beat the stale matrix (differences do the stabilising).
